@@ -1,0 +1,88 @@
+"""E7: ablation of the auto-optimization pass stack (§3.1).
+
+Disables each pass individually and reports the modeled CPU time of a
+fusion-sensitive kernel, quantifying each pass's contribution (the design
+choices DESIGN.md calls out)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.autoopt import auto_optimize
+from repro.codegen import compile_sdfg
+from repro.runtime.devices import CPU_PROFILES, GPU_PROFILES, cpu_time, gpu_time
+from repro.runtime.perfmodel import analyze_program
+
+from conftest import run_once
+
+N = repro.symbol("N")
+
+
+@repro.program
+def chain(A: repro.float64[N], B: repro.float64[N]):
+    B[:] = (A * 2.0 + 1.0) * A - A / 2.0
+
+
+@repro.program
+def reduction(A: repro.float64[N, N]):
+    return np.sum(A * A)
+
+
+def modeled(sdfg, args, device="CPU"):
+    compiled = compile_sdfg(sdfg)
+    compiled(**args)
+    cost = analyze_program(sdfg, compiled.last_state_visits,
+                           compiled.last_symbols)
+    if device == "CPU":
+        return cpu_time(cost, CPU_PROFILES["dace"]), cost
+    return gpu_time(cost, GPU_PROFILES["dace"], include_transfers=False), cost
+
+
+def test_ablation_pass_stack(benchmark):
+    n = 200000
+    args = lambda: {"A": np.arange(n, dtype=np.float64), "B": np.zeros(n)}
+    results = {}
+
+    def run():
+        for disabled in (None, "fusion", "loop_to_map", "transients",
+                         "tile_wcr"):
+            sdfg = chain.to_sdfg().clone()
+            passes = {disabled: False} if disabled else {}
+            auto_optimize(sdfg, device="CPU", passes=passes)
+            time, cost = modeled(sdfg, args())
+            results["full" if disabled is None else f"-{disabled}"] = \
+                (time, cost.transient_bytes)
+
+    run_once(benchmark, run)
+    print("\n[E7] auto-optimization ablation (modeled CPU time)")
+    for name, (time, transient) in results.items():
+        print(f"  {name:<14} {time * 1e6:9.1f} us   transient bytes "
+              f"{transient}")
+    # fusion is the headline pass: disabling it must cost performance
+    assert results["full"][0] < results["-fusion"][0]
+    # and the intermediate traffic it removes must reappear
+    assert results["full"][1] < results["-fusion"][1]
+
+
+def test_ablation_wcr_tiling_gpu(benchmark):
+    n = 512
+    args = lambda: {"A": np.ones((n, n))}
+    results = {}
+
+    def run():
+        for disabled in (None, "tile_wcr"):
+            sdfg = reduction.to_sdfg().clone()
+            passes = {disabled: False} if disabled else {}
+            auto_optimize(sdfg, device="GPU", use_fast_library=False,
+                          passes=passes)
+            time, cost = modeled(sdfg, args(), device="GPU")
+            results["full" if disabled is None else f"-{disabled}"] = \
+                (time, cost.wcr_updates)
+
+    run_once(benchmark, run)
+    print("\n[E7] WCR tiling ablation (modeled GPU time)")
+    for name, (time, atomics) in results.items():
+        print(f"  {name:<12} {time * 1e6:9.1f} us   conflicting updates "
+              f"{atomics}")
+    assert results["full"][1] < results["-tile_wcr"][1]
+    assert results["full"][0] <= results["-tile_wcr"][0]

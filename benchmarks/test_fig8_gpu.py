@@ -1,0 +1,69 @@
+"""E3 / Fig. 8: GPU runtime, CuPy vs. auto-optimized data-centric code.
+
+Both frameworks execute on the simulated V100-class device model: CuPy
+launches one kernel + one intermediate array per NumPy operation (the
+unfused IR); the data-centric version runs the fused, GPU-transformed IR.
+The paper reports a 3.75x geomean in DaCe's favor with one exception
+(resnet, where the convolution formulation produces many atomics).
+"""
+
+import pytest
+
+from repro.autoopt import auto_optimize
+from repro.bench import registry
+from repro.codegen import compile_sdfg
+from repro.perf import geomean, runtime_series
+from repro.runtime.devices import GPU_PROFILES, gpu_time
+from repro.runtime.perfmodel import analyze_program
+
+from conftest import run_once, size_class, size_for
+
+
+def gpu_times(bench, size):
+    if bench.program._annotation_descs() is None:
+        base = bench.program.to_sdfg(**bench.arguments(size)).clone()
+    else:
+        base = bench.program.to_sdfg().clone()
+    opt = base.clone()
+    auto_optimize(opt, device="GPU")
+    base_c = compile_sdfg(base)
+    opt_c = compile_sdfg(opt, device="GPU")
+    base_c(**bench.arguments(size))
+    opt_c(**bench.arguments(size))
+    unfused = analyze_program(base, base_c.last_state_visits, base_c.last_symbols)
+    fused = analyze_program(opt, opt_c.last_state_visits, opt_c.last_symbols)
+    return {
+        "cupy": gpu_time(unfused, GPU_PROFILES["cupy"], include_transfers=False),
+        "dace": gpu_time(fused, GPU_PROFILES["dace"], include_transfers=False),
+    }
+
+
+def test_fig8_gpu_runtimes(benchmark):
+    size = "test" if size_class() == "test" else "small"
+    rows = {}
+
+    def run():
+        for bench in registry.all_benchmarks():
+            if not bench.gpu:
+                continue
+            try:
+                rows[bench.name] = gpu_times(bench,
+                                             size_for(bench.name, size))
+            except Exception as exc:  # pragma: no cover
+                print(f"  [fig8] {bench.name}: skipped ({exc})")
+
+    run_once(benchmark, run)
+    print("\n[Fig 8] GPU runtime (modeled, lower is better)")
+    print(runtime_series(rows))
+    speedups = {name: row["cupy"] / row["dace"] for name, row in rows.items()}
+    gm = geomean(list(speedups.values()))
+    print(f"\n[Fig 8] geomean speedup over CuPy: {gm:.2f}x "
+          f"(paper: 3.75x)")
+    assert gm > 1.5
+    # resnet is the paper's counter-example: convolution-by-accumulation
+    # generates many atomics, making the unfused CuPy version competitive
+    if "resnet" in speedups:
+        others = geomean([s for n, s in speedups.items() if n != "resnet"])
+        print(f"[Fig 8] resnet speedup {speedups['resnet']:.2f}x vs "
+              f"others {others:.2f}x (paper: CuPy wins on resnet)")
+        assert speedups["resnet"] < others

@@ -1,0 +1,41 @@
+"""E5 / Table 2: distributed benchmark problem sizes and scaling factors."""
+
+import pytest
+
+from repro.bench.distributed_suite import TABLE2, scaled_sizes
+from repro.simmpi.grid import balanced_dims
+
+from conftest import run_once
+
+
+def test_table2_rows(benchmark):
+    lines = []
+
+    def run():
+        lines.append(f"{'benchmark':<12}{'params':<28}{'DaCe/Legate':<28}"
+                     f"{'Dask':<24}{'S.F.'}")
+        for bench in TABLE2.values():
+            lines.append(
+                f"{bench.name:<12}{','.join(bench.params):<28}"
+                f"{str(bench.dace_sizes):<28}{str(bench.dask_sizes):<24}"
+                f"{','.join(bench.scaling)}")
+
+    run_once(benchmark, run)
+    print("\n[Table 2]")
+    print("\n".join(lines))
+    assert len(TABLE2) == 11
+
+
+@pytest.mark.parametrize("procs", [1, 2, 4, 16, 36, 64, 256, 1296])
+def test_weak_scaling_sizes_divisible(benchmark, procs):
+    """Scaled sizes stay uniform over the process grid (divisibility)."""
+    def run():
+        grid = balanced_dims(procs)
+        for bench in TABLE2.values():
+            sizes = scaled_sizes(bench, procs)
+            for param, kind in zip(bench.params, bench.scaling):
+                if kind != "-":
+                    assert sizes[param] % (grid[0] * grid[1]) == 0, \
+                        (bench.name, param, procs)
+
+    run_once(benchmark, run)

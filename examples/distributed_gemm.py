@@ -1,0 +1,64 @@
+"""Implicit distribution: the paper's three-call recipe for gemm (§4.1-4.2).
+
+    sdfg.apply(DistributeElementWiseArrayOp)
+    sdfg.expand_library_nodes('PBLAS')
+    sdfg.apply(RemoveRedundantComm)
+
+The original Python source never changes.  The transformed program runs on
+the simulated cluster (one thread per rank, real numerics, LogGP-modeled
+time), and the redundant-communication elimination of Fig. 11 is visible in
+the wire-traffic counters.
+"""
+
+import numpy as np
+
+import repro
+from repro.distributed import run_distributed
+from repro.transformations.distributed import (DistributeElementWiseArrayOp,
+                                               RemoveRedundantComm)
+
+NI = repro.symbol("NI")
+NJ = repro.symbol("NJ")
+NK = repro.symbol("NK")
+
+
+@repro.program
+def gemm(alpha: repro.float64, beta: repro.float64,
+         C: repro.float64[NI, NJ], A: repro.float64[NI, NK],
+         B: repro.float64[NK, NJ]):
+    C[:] = alpha * A @ B + beta * C
+
+
+def distribute(eliminate_redundant: bool):
+    sdfg = gemm.to_sdfg().clone()
+    n_maps = sdfg.apply(DistributeElementWiseArrayOp)
+    n_pblas = sdfg.expand_library_nodes(implementation="PBLAS")
+    n_removed = sdfg.apply(RemoveRedundantComm) if eliminate_redundant else 0
+    return sdfg, (n_maps, n_pblas, n_removed)
+
+
+def main():
+    rng = np.random.default_rng(0)
+    M, K, N = 48, 32, 64
+    ranks = 4
+
+    for eliminate in (False, True):
+        sdfg, (n_maps, n_pblas, n_removed) = distribute(eliminate)
+        A = rng.random((M, K))
+        B = rng.random((K, N))
+        C = rng.random((M, N))
+        expected = 1.5 * A @ B + 0.5 * C
+        result = run_distributed(sdfg, ranks, alpha=1.5, beta=0.5,
+                                 C=C, A=A, B=B)
+        assert np.allclose(C, expected)
+        label = "with" if eliminate else "without"
+        print(f"{label:>8} RemoveRedundantComm: "
+              f"{n_maps} maps distributed, {n_pblas} PBLAS expansion(s), "
+              f"{n_removed} round trips removed -> "
+              f"{result.comm_stats['bytes']:>8} bytes on the wire, "
+              f"modeled {result.modeled_time * 1e3:.3f} ms")
+    print("distributed_gemm OK")
+
+
+if __name__ == "__main__":
+    main()

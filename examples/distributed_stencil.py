@@ -1,0 +1,87 @@
+"""Explicit local views: the paper's distributed jacobi_2d (§4.3).
+
+The user takes direct control of the partitioning: arrays are scattered
+into 2-D blocks, halos are exchanged with nonblocking sends/receives every
+time step, and the global view is reassembled at the end — all written as
+valid annotated Python through ``repro.comm``.
+"""
+
+import numpy as np
+
+import repro
+import repro.comm
+from repro.distributed import run_distributed
+
+N = repro.symbol("N")
+lNx = repro.symbol("lNx")
+lNy = repro.symbol("lNy")
+noff = repro.symbol("noff")
+soff = repro.symbol("soff")
+woff = repro.symbol("woff")
+eoff = repro.symbol("eoff")
+
+
+@repro.program
+def j2d_dist(TSTEPS: repro.int32, A: repro.float64[N, N],
+             B: repro.float64[N, N]):
+    lA = np.zeros((lNx + 2, lNy + 2))
+    lB = np.zeros((lNx + 2, lNy + 2))
+    lA[1:-1, 1:-1] = repro.comm.BlockScatter(A, (lNx, lNy))
+    lB[1:-1, 1:-1] = repro.comm.BlockScatter(B, (lNx, lNy))
+    for t in range(1, TSTEPS):
+        repro.comm.HaloExchange(lA)
+        lB[1 + noff:lNx + 1 - soff, 1 + woff:lNy + 1 - eoff] = 0.2 * (
+            lA[1 + noff:lNx + 1 - soff, 1 + woff:lNy + 1 - eoff]
+            + lA[1 + noff:lNx + 1 - soff, woff:lNy - eoff]
+            + lA[1 + noff:lNx + 1 - soff, 2 + woff:lNy + 2 - eoff]
+            + lA[2 + noff:lNx + 2 - soff, 1 + woff:lNy + 1 - eoff]
+            + lA[noff:lNx - soff, 1 + woff:lNy + 1 - eoff])
+        repro.comm.HaloExchange(lB)
+        lA[1 + noff:lNx + 1 - soff, 1 + woff:lNy + 1 - eoff] = 0.2 * (
+            lB[1 + noff:lNx + 1 - soff, 1 + woff:lNy + 1 - eoff]
+            + lB[1 + noff:lNx + 1 - soff, woff:lNy - eoff]
+            + lB[1 + noff:lNx + 1 - soff, 2 + woff:lNy + 2 - eoff]
+            + lB[2 + noff:lNx + 2 - soff, 1 + woff:lNy + 1 - eoff]
+            + lB[noff:lNx - soff, 1 + woff:lNy + 1 - eoff])
+    A[:] = repro.comm.BlockGather(lA[1:-1, 1:-1], (N, N))
+    B[:] = repro.comm.BlockGather(lB[1:-1, 1:-1], (N, N))
+
+
+def reference(tsteps, A, B):
+    for t in range(1, tsteps):
+        B[1:-1, 1:-1] = 0.2 * (A[1:-1, 1:-1] + A[1:-1, :-2] + A[1:-1, 2:]
+                               + A[2:, 1:-1] + A[:-2, 1:-1])
+        A[1:-1, 1:-1] = 0.2 * (B[1:-1, 1:-1] + B[1:-1, :-2] + B[1:-1, 2:]
+                               + B[2:, 1:-1] + B[:-2, 1:-1])
+
+
+def boundary_offsets(rank, grid):
+    """The paper's noff/soff/woff/eoff: clamp updates at global boundaries."""
+    nb = grid.neighbors(rank)
+    return {"noff": 1 if nb["north"] < 0 else 0,
+            "soff": 1 if nb["south"] < 0 else 0,
+            "woff": 1 if nb["west"] < 0 else 0,
+            "eoff": 1 if nb["east"] < 0 else 0}
+
+
+def main():
+    n, tsteps, ranks = 24, 8, 4
+    rng = np.random.default_rng(0)
+    A0, B0 = rng.random((n, n)), rng.random((n, n))
+    Ar, Br = A0.copy(), B0.copy()
+    reference(tsteps, Ar, Br)
+
+    A, B = A0.copy(), B0.copy()
+    result = run_distributed(j2d_dist, ranks, TSTEPS=tsteps, A=A, B=B,
+                             lNx=n // 2, lNy=n // 2,
+                             rank_args=boundary_offsets)
+    error = max(np.abs(A - Ar).max(), np.abs(B - Br).max())
+    print(f"{ranks} ranks, {tsteps} time steps: max |error| = {error:.2e}")
+    print(f"halo messages: {result.comm_stats['messages']}, "
+          f"modeled time {result.modeled_time * 1e3:.3f} ms")
+    assert error < 1e-12
+    print("distributed_stencil OK")
+
+
+if __name__ == "__main__":
+    main()

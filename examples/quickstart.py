@@ -1,0 +1,64 @@
+"""Quickstart: annotate NumPy code, inspect the SDFG, auto-optimize, run.
+
+This walks the paper's gemm example end to end (§2.2-§3.1):
+
+1. annotate a NumPy function with ``@repro.program`` and symbolic types;
+2. translate it to the SDFG data-centric IR and look at the graph;
+3. run the dataflow-coarsening pass and the auto-optimization heuristics;
+4. execute the compiled program and check against NumPy.
+"""
+
+import numpy as np
+
+import repro
+from repro.autoopt import auto_optimize
+from repro.ir import MapEntry
+
+# symbolic sizes: the program is compiled once for any N/M/K (AOT, §3.3)
+NI = repro.symbol("NI")
+NJ = repro.symbol("NJ")
+NK = repro.symbol("NK")
+
+
+@repro.program
+def gemm(alpha: repro.float64, beta: repro.float64,
+         C: repro.float64[NI, NJ], A: repro.float64[NI, NK],
+         B: repro.float64[NK, NJ]):
+    C[:] = alpha * A @ B + beta * C
+
+
+def main():
+    # -- 1. translation -----------------------------------------------------
+    uncoarsened = gemm.to_sdfg(simplify=False)
+    coarsened = gemm.to_sdfg(simplify=True)
+    print(f"translated gemm: {uncoarsened.number_of_states()} states at -O0, "
+          f"{coarsened.number_of_states()} after dataflow coarsening")
+
+    # -- 2. auto-optimization (§3.1) -----------------------------------------
+    optimized = coarsened.clone()
+    auto_optimize(optimized, device="CPU")
+    maps = [n for n, _ in optimized.all_nodes_recursive()
+            if isinstance(n, MapEntry)]
+    print(f"auto-optimized: {len(maps)} map scope(s), schedules "
+          f"{sorted({m.map.schedule.value for m in maps})}")
+
+    # the generated specialized module is inspectable, like the paper's C++
+    compiled = optimized.compile()
+    first_lines = "\n".join(compiled.source.splitlines()[:6])
+    print(f"generated module (first lines):\n{first_lines}\n...")
+
+    # -- 3. execution ---------------------------------------------------------
+    rng = np.random.default_rng(0)
+    A = rng.random((64, 48))
+    B = rng.random((48, 80))
+    C = rng.random((64, 80))
+    expected = 1.5 * A @ B + 0.5 * C
+    compiled(alpha=1.5, beta=0.5, C=C, A=A, B=B)
+    error = np.abs(C - expected).max()
+    print(f"max |error| vs NumPy: {error:.2e}")
+    assert error < 1e-12
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

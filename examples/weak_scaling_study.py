@@ -1,0 +1,21 @@
+"""Reproduce a slice of Fig. 12 interactively: weak scaling of three
+kernels, DaCe vs. the distributed-tasking comparators, to 1,296 processes.
+"""
+
+from repro.distributed.estimator import weak_scaling_series
+from repro.perf import scaling_table
+
+PROCS = [1, 4, 16, 64, 256, 1296]
+
+
+def main():
+    for kernel in ("doitgen", "mvt", "gemm"):
+        series = {fw: weak_scaling_series(kernel, PROCS, fw)
+                  for fw in ("dace", "dask", "legate")}
+        print(f"\n=== {kernel} (weak scaling, Table 2 sizes) ===")
+        print(scaling_table(series))
+    print("\nweak_scaling_study OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Data-centric Python toolbox — reproduction of "Productivity, Portability,
+Performance: Data-Centric Python" (SC'21).
+
+Public API mirrors the paper's ``dace`` module: the ``@program`` decorator,
+``symbol`` declarations, NumPy-compatible dtypes usable as annotations
+(``float64[N, N]``), the ``map`` parametric-parallelism iterator, and the
+explicit-communication ``comm`` namespace for distributed programs.
+"""
+
+from .config import Config
+from .dtypes import (bool_, complex64, complex128, float32, float64, int8,
+                     int16, int32, int64, symbol, uint8, uint16, uint32,
+                     uint64)
+from .frontend.decorator import DaceProgram, map_marker as map, program
+from .ir import SDFG, InterstateEdge, Memlet, SDFGState
+from .symbolic import Range, Symbol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "program", "DaceProgram", "map", "symbol", "Config",
+    "SDFG", "SDFGState", "Memlet", "InterstateEdge", "Range", "Symbol",
+    "bool_", "int8", "int16", "int32", "int64",
+    "uint8", "uint16", "uint32", "uint64",
+    "float32", "float64", "complex64", "complex128",
+]

@@ -1,0 +1,107 @@
+"""Automatic optimization heuristics (§3.1, the -O3 analogue).
+
+``auto_optimize`` runs, in order:
+
+1. **Map scope cleanup** — remove degenerate (size-1) maps, repeatedly apply
+   *LoopToMap*, and collapse nested maps into multidimensional maps.
+2. **Greedy subgraph fusion** — fuse the largest contiguous map subgraphs
+   sharing (a subset of) the same iteration space.
+3. **Tile WCR maps** — tile parallel maps with write-conflicts to reduce
+   atomic operations.
+4. **Transient allocation mitigation** — move small constant-sized arrays to
+   the stack and make input-sized temporaries persistent.
+
+Device-specific passes follow: OpenMP-collapse for CPU, the
+``{GPU,FPGA}TransformSDFG`` passes for accelerators, and finally library
+nodes are specialized using the per-platform priority lists (§3.2).
+"""
+
+from __future__ import annotations
+
+from .config import Config
+
+__all__ = ["auto_optimize"]
+
+
+def auto_optimize(sdfg, device: str = "CPU", use_fast_library: bool = True,
+                  passes: dict = None):
+    """Auto-optimize *sdfg* in place for *device*; returns the SDFG.
+
+    ``passes`` optionally disables individual steps (for the ablation
+    benchmarks), e.g. ``passes={"fusion": False}``.
+    """
+    from .transformations.dataflow.cleanup import DegenerateMapRemoval
+    from .transformations.dataflow.loop_to_map import LoopToMap
+    from .transformations.dataflow.map_collapse import MapCollapse
+    from .transformations.dataflow.map_fusion import GreedySubgraphFusion
+    from .transformations.dataflow.map_tiling import TileWCRMaps
+    from .transformations.dataflow.transient_alloc import TransientAllocationMitigation
+    from .transformations.pipeline import simplify_pass
+
+    enabled = {
+        "cleanup": True,
+        "loop_to_map": True,
+        "collapse": True,
+        "fusion": True,
+        "tile_wcr": True,
+        "transients": True,
+        "device": True,
+        "library": True,
+    }
+    enabled.update(passes or {})
+
+    # (1) map scope cleanup
+    if enabled["cleanup"]:
+        DegenerateMapRemoval.apply_repeated(sdfg)
+    if enabled["loop_to_map"]:
+        while LoopToMap.apply_once(sdfg):
+            simplify_pass(sdfg)
+    if enabled["collapse"]:
+        MapCollapse.apply_repeated(sdfg)
+
+    # (2) greedy subgraph fusion
+    if enabled["fusion"]:
+        GreedySubgraphFusion.apply_repeated(sdfg)
+        simplify_pass(sdfg)
+
+    # (3) tile WCR maps
+    if enabled["tile_wcr"]:
+        TileWCRMaps.apply_repeated(sdfg, tile_size=Config.get("optimizer.tile_size"))
+
+    # (4) transient allocation mitigation
+    if enabled["transients"]:
+        TransientAllocationMitigation.apply_repeated(sdfg)
+
+    # device-specific passes
+    if enabled["device"]:
+        if device == "CPU":
+            from .transformations.device.cpu_transform import CPUParallelize
+
+            CPUParallelize.apply_repeated(sdfg)
+        elif device == "GPU":
+            from .transformations.device.gpu_transform import GPUTransformSDFG
+
+            GPUTransformSDFG.apply_repeated(sdfg)
+        elif device == "FPGA":
+            from .transformations.device.fpga_transform import (
+                FPGATransformSDFG,
+                StreamingComposition,
+            )
+
+            FPGATransformSDFG.apply_repeated(sdfg)
+            StreamingComposition.apply_repeated(sdfg)
+        else:
+            raise ValueError(f"unknown device {device!r}")
+
+    # library specialization (§3.2)
+    if enabled["library"]:
+        if use_fast_library:
+            sdfg.expand_library_nodes(device=device)
+        else:
+            sdfg.expand_library_nodes(implementation="native")
+        # expansions may introduce WCR maps (native reductions): tile them too
+        if enabled["tile_wcr"]:
+            TileWCRMaps.apply_repeated(
+                sdfg, tile_size=Config.get("optimizer.tile_size"))
+
+    return sdfg

@@ -1,0 +1,319 @@
+"""A miniature distributed-tasking framework in the style of Dask Array.
+
+Reproduces Dask's *cost structure* (the comparator of Fig. 12): arrays are
+split into chunks, operations build a lazy task graph, and ``compute()``
+walks the graph through a **central scheduler** that charges a fixed
+scheduling overhead per task and TCP-like transfer costs for every chunk
+that moves between workers.  Numerics are real NumPy.
+
+Supported operations cover the distributed benchmark kernels: element-wise
+arithmetic, scalar broadcasting, matmul, transpose, reductions, and
+``shift`` (the map_overlap analogue used by stencils).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DaskishArray", "DaskishScheduler", "from_array", "compute"]
+
+#: scheduler and transport parameters (Dask's centralized scheduler handles
+#: a few thousand tasks/second; workers speak TCP)
+SCHEDULER_OVERHEAD_S = 0.8e-3          # per task
+TCP_LATENCY_S = 60e-6
+TCP_GBS = 1.2
+WORKER_FLOPS = 35e9                    # per-worker effective rate
+
+
+class _Task:
+    __slots__ = ("key", "fn", "deps", "nbytes", "worker")
+
+    def __init__(self, key, fn, deps, nbytes=0, worker=0):
+        self.key = key
+        self.fn = fn
+        self.deps = deps
+        self.nbytes = nbytes
+        self.worker = worker
+
+
+@dataclass
+class DaskishScheduler:
+    """Central scheduler: executes task graphs, modeling time."""
+
+    workers: int = 1
+    modeled_time: float = 0.0
+    tasks_run: int = 0
+    bytes_moved: int = 0
+
+    def execute(self, graph: Dict, key) -> np.ndarray:
+        cache: Dict = {}
+        order = self._toposort(graph)
+        worker_clock = [0.0] * self.workers
+        scheduler_clock = 0.0
+        producer_worker: Dict = {}
+        for task_key in order:
+            task = graph[task_key]
+            args = [cache[d] for d in task.deps]
+            # the central scheduler dispatches every task
+            scheduler_clock += SCHEDULER_OVERHEAD_S
+            worker = task.worker % self.workers
+            start = max(worker_clock[worker], scheduler_clock)
+            # transfer chunks produced on other workers (TCP)
+            moved = 0
+            for dep in task.deps:
+                src_worker = producer_worker.get(dep, worker)
+                if src_worker != worker:
+                    dep_bytes = cache[dep].nbytes if hasattr(cache[dep], "nbytes") else 64
+                    moved += dep_bytes
+            if moved:
+                start += TCP_LATENCY_S + moved / (TCP_GBS * 1e9)
+                self.bytes_moved += moved
+            result = task.fn(*args)
+            flops = getattr(result, "size", 1) * 2
+            worker_clock[worker] = start + flops / WORKER_FLOPS
+            cache[task_key] = result
+            producer_worker[task_key] = worker
+            self.tasks_run += 1
+        self.modeled_time += max(max(worker_clock), scheduler_clock)
+        return cache[key]
+
+    @staticmethod
+    def _toposort(graph: Dict) -> List:
+        seen = set()
+        order: List = []
+
+        def visit(key):
+            if key in seen:
+                return
+            seen.add(key)
+            for dep in graph[key].deps:
+                visit(dep)
+            order.append(key)
+
+        for key in graph:
+            visit(key)
+        return order
+
+
+_COUNTER = itertools.count()
+
+
+class DaskishArray:
+    """A lazy chunked array (1-D or 2-D chunk grids)."""
+
+    def __init__(self, graph: Dict, chunk_keys, chunk_shape, shape, dtype,
+                 scheduler: DaskishScheduler):
+        self.graph = graph
+        self.chunk_keys = chunk_keys          # ndarray (object) of keys
+        self.chunk_shape = chunk_shape        # chunks per dim
+        self.shape = shape
+        self.dtype = dtype
+        self.scheduler = scheduler
+
+    # -- construction -------------------------------------------------------
+    @staticmethod
+    def from_array(data: np.ndarray, chunks: Tuple[int, ...],
+                   scheduler: Optional[DaskishScheduler] = None) -> "DaskishArray":
+        scheduler = scheduler or DaskishScheduler()
+        data = np.asarray(data)
+        grid = tuple(math.ceil(s / c) for s, c in zip(data.shape, chunks))
+        graph: Dict = {}
+        keys = np.empty(grid, dtype=object)
+        for index in np.ndindex(*grid):
+            slices = tuple(slice(i * c, min((i + 1) * c, s))
+                           for i, c, s in zip(index, chunks, data.shape))
+            key = ("chunk", next(_COUNTER))
+            block = np.copy(data[slices])
+            graph[key] = _Task(key, (lambda b=block: b), [],
+                               worker=_flat_index(index, grid))
+            keys[index] = key
+        return DaskishArray(graph, keys, grid, data.shape, data.dtype, scheduler)
+
+    # -- element-wise -------------------------------------------------------
+    def _elementwise(self, other, op: Callable, symbol: str) -> "DaskishArray":
+        graph = dict(self.graph)
+        keys = np.empty(self.chunk_shape, dtype=object)
+        other_is_array = isinstance(other, DaskishArray)
+        if other_is_array:
+            graph.update(other.graph)
+        for index in np.ndindex(*self.chunk_shape):
+            key = (symbol, next(_COUNTER))
+            deps = [self.chunk_keys[index]]
+            if other_is_array:
+                deps.append(other.chunk_keys[index])
+                fn = (lambda a, b, _op=op: _op(a, b))
+            else:
+                fn = (lambda a, _op=op, _o=other: _op(a, _o))
+            graph[key] = _Task(key, fn, deps,
+                               worker=_flat_index(index, self.chunk_shape))
+            keys[index] = key
+        return DaskishArray(graph, keys, self.chunk_shape, self.shape,
+                            self.dtype, self.scheduler)
+
+    def __add__(self, other):
+        return self._elementwise(other, np.add, "add")
+
+    def __radd__(self, other):
+        return self._elementwise(other, lambda a, b=other: b + a, "radd") \
+            if not isinstance(other, DaskishArray) else other.__add__(self)
+
+    def __sub__(self, other):
+        return self._elementwise(other, np.subtract, "sub")
+
+    def __mul__(self, other):
+        return self._elementwise(other, np.multiply, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._elementwise(other, np.divide, "div")
+
+    # -- matmul ------------------------------------------------------------
+    def __matmul__(self, other: "DaskishArray") -> "DaskishArray":
+        graph = dict(self.graph)
+        graph.update(other.graph)
+        scheduler = self.scheduler
+        if len(self.chunk_shape) == 2 and len(other.chunk_shape) == 2:
+            gm, gk = self.chunk_shape
+            gk2, gn = other.chunk_shape
+            keys = np.empty((gm, gn), dtype=object)
+            for i in range(gm):
+                for j in range(gn):
+                    partials = []
+                    for k in range(min(gk, gk2)):
+                        pkey = ("mm", next(_COUNTER))
+                        graph[pkey] = _Task(
+                            pkey, (lambda a, b: a @ b),
+                            [self.chunk_keys[i, k], other.chunk_keys[k, j]],
+                            worker=i * gn + j)
+                        partials.append(pkey)
+                    skey = ("mmsum", next(_COUNTER))
+                    graph[skey] = _Task(
+                        skey, (lambda *parts: np.sum(parts, axis=0)),
+                        partials, worker=i * gn + j)
+                    keys[i, j] = skey
+            shape = (self.shape[0], other.shape[1])
+            return DaskishArray(graph, keys, (gm, gn), shape, self.dtype,
+                                scheduler)
+        # matrix-vector: gather the vector, chunked rows
+        if len(self.chunk_shape) == 2 and len(other.chunk_shape) == 1:
+            gm, gk = self.chunk_shape
+            keys = np.empty((gm,), dtype=object)
+            for i in range(gm):
+                partials = []
+                for k in range(gk):
+                    pkey = ("mv", next(_COUNTER))
+                    graph[pkey] = _Task(pkey, (lambda a, x: a @ x),
+                                        [self.chunk_keys[i, k],
+                                         other.chunk_keys[min(k, other.chunk_shape[0] - 1)]],
+                                        worker=i)
+                    partials.append(pkey)
+                skey = ("mvsum", next(_COUNTER))
+                graph[skey] = _Task(skey,
+                                    (lambda *parts: np.sum(parts, axis=0)),
+                                    partials, worker=i)
+                keys[i] = skey
+            return DaskishArray(graph, keys, (gm,), (self.shape[0],),
+                                self.dtype, scheduler)
+        raise NotImplementedError("daskish matmul supports 2Dx2D and 2Dx1D")
+
+    @property
+    def T(self) -> "DaskishArray":
+        if len(self.chunk_shape) != 2:
+            return self
+        graph = dict(self.graph)
+        gm, gn = self.chunk_shape
+        keys = np.empty((gn, gm), dtype=object)
+        for i in range(gm):
+            for j in range(gn):
+                key = ("t", next(_COUNTER))
+                graph[key] = _Task(key, (lambda a: a.T),
+                                   [self.chunk_keys[i, j]], worker=j * gm + i)
+                keys[j, i] = key
+        return DaskishArray(graph, keys, (gn, gm),
+                            (self.shape[1], self.shape[0]), self.dtype,
+                            self.scheduler)
+
+    def sum(self) -> "DaskishArray":
+        graph = dict(self.graph)
+        partials = []
+        for index in np.ndindex(*self.chunk_shape):
+            key = ("psum", next(_COUNTER))
+            graph[key] = _Task(key, (lambda a: np.sum(a)),
+                               [self.chunk_keys[index]],
+                               worker=_flat_index(index, self.chunk_shape))
+            partials.append(key)
+        key = ("sum", next(_COUNTER))
+        graph[key] = _Task(key, (lambda *parts: np.atleast_1d(np.sum(parts))),
+                           partials)
+        keys = np.empty((1,), dtype=object)
+        keys[0] = key
+        return DaskishArray(graph, keys, (1,), (1,), self.dtype, self.scheduler)
+
+    def shift(self, offset: int) -> "DaskishArray":
+        """1-D halo access (map_overlap analogue): element i of the result is
+        element i+offset of the source (zero at the boundary)."""
+        if len(self.chunk_shape) != 1:
+            raise NotImplementedError("shift supports 1-D arrays")
+        graph = dict(self.graph)
+        (gc,) = self.chunk_shape
+        keys = np.empty((gc,), dtype=object)
+        for c in range(gc):
+            deps = [self.chunk_keys[c]]
+            neighbor = c + (1 if offset > 0 else -1)
+            has_neighbor = 0 <= neighbor < gc
+            if has_neighbor and offset != 0:
+                deps.append(self.chunk_keys[neighbor])
+
+            def fn(block, *rest, _offset=offset, _has=has_neighbor):
+                out = np.zeros_like(block)
+                if _offset > 0:
+                    out[:-_offset or None] = block[_offset:]
+                    if _has and rest:
+                        out[-_offset:] = rest[0][:_offset]
+                elif _offset < 0:
+                    out[-_offset:] = block[:_offset]
+                    if _has and rest:
+                        out[:-_offset] = rest[0][_offset:]
+                else:
+                    out[:] = block
+                return out
+
+            key = ("shift", next(_COUNTER))
+            graph[key] = _Task(key, fn, deps, worker=c)
+            keys[c] = key
+        return DaskishArray(graph, keys, (gc,), self.shape, self.dtype,
+                            self.scheduler)
+
+    # -- materialization ------------------------------------------------------
+    def compute(self) -> np.ndarray:
+        """Assemble the full array (drives the scheduler)."""
+        blocks = np.empty(self.chunk_shape, dtype=object)
+        for index in np.ndindex(*self.chunk_shape):
+            blocks[index] = self.scheduler.execute(self.graph,
+                                                   self.chunk_keys[index])
+        return np.block(blocks.tolist()) if len(self.chunk_shape) > 1 \
+            else np.concatenate(list(blocks))
+
+
+def _flat_index(index, grid) -> int:
+    flat = 0
+    for i, g in zip(index, grid):
+        flat = flat * g + i
+    return flat
+
+
+def from_array(data: np.ndarray, chunks,
+               scheduler: Optional[DaskishScheduler] = None) -> DaskishArray:
+    if isinstance(chunks, int):
+        chunks = (chunks,) * np.asarray(data).ndim
+    return DaskishArray.from_array(data, chunks, scheduler)
+
+
+def compute(array: DaskishArray) -> np.ndarray:
+    return array.compute()

@@ -1,0 +1,135 @@
+"""A miniature Legate-style runtime: an eager drop-in NumPy replacement.
+
+Legate (the paper's second distributed comparator) intercepts each NumPy
+operation, runs a runtime dependence analysis, partitions the operands over
+logical regions, and launches distributed tasks per operation — with good
+local BLAS performance but a fixed per-operation runtime-analysis cost and
+no cross-operation fusion.  This shim reproduces that structure: every
+operation executes eagerly (NumPy numerics) and charges
+
+* a per-operation runtime-analysis overhead,
+* GASNet-like transfer costs for the operand partitions that move, and
+* local compute at near-native rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["LegateishRuntime", "LegateishArray"]
+
+RUNTIME_ANALYSIS_S = 0.25e-3     # Legion dynamic dependence analysis per op
+GASNET_LATENCY_S = 4e-6
+GASNET_GBS = 6.0
+NODE_FLOPS = 45e9
+BLAS_EFFICIENCY = 0.85
+
+
+@dataclass
+class LegateishRuntime:
+    """Tracks modeled time across eager operations."""
+
+    nodes: int = 1
+    modeled_time: float = 0.0
+    operations: int = 0
+    bytes_moved: int = 0
+
+    def charge(self, flops: float, moved_bytes: float,
+               library: bool = False) -> None:
+        self.operations += 1
+        rate = NODE_FLOPS * (BLAS_EFFICIENCY if library else 0.5) * self.nodes
+        compute = flops / rate if rate else 0.0
+        transfer = 0.0
+        if moved_bytes and self.nodes > 1:
+            transfer = GASNET_LATENCY_S + moved_bytes / (GASNET_GBS * 1e9)
+            self.bytes_moved += int(moved_bytes)
+        self.modeled_time += RUNTIME_ANALYSIS_S + compute + transfer
+
+    def array(self, data: np.ndarray) -> "LegateishArray":
+        return LegateishArray(np.asarray(data), self)
+
+
+class LegateishArray:
+    """Eager distributed array: NumPy semantics + per-op cost accounting."""
+
+    __slots__ = ("data", "runtime")
+
+    def __init__(self, data: np.ndarray, runtime: LegateishRuntime):
+        self.data = np.asarray(data)
+        self.runtime = runtime
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def _wrap(self, result: np.ndarray, flops: float, moved: float,
+              library: bool = False) -> "LegateishArray":
+        self.runtime.charge(flops, moved, library)
+        return LegateishArray(result, self.runtime)
+
+    def _coerce(self, other):
+        return other.data if isinstance(other, LegateishArray) else other
+
+    def __add__(self, other):
+        o = self._coerce(other)
+        return self._wrap(self.data + o, self.data.size, 0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._wrap(self.data - self._coerce(other), self.data.size, 0)
+
+    def __rsub__(self, other):
+        return self._wrap(self._coerce(other) - self.data, self.data.size, 0)
+
+    def __mul__(self, other):
+        return self._wrap(self.data * self._coerce(other), self.data.size, 0)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._wrap(self.data / self._coerce(other), self.data.size, 0)
+
+    def __matmul__(self, other):
+        o = self._coerce(other)
+        result = self.data @ o
+        if self.data.ndim == 2 and np.ndim(o) == 2:
+            flops = 2.0 * self.data.shape[0] * self.data.shape[1] * o.shape[1]
+            # SUMMA-like panel movement across nodes
+            moved = (self.data.nbytes + o.nbytes) / max(self.runtime.nodes, 1) \
+                * np.sqrt(self.runtime.nodes)
+        else:
+            flops = 2.0 * self.data.size
+            moved = self.data.nbytes / max(self.runtime.nodes, 1)
+        return self._wrap(result, flops, moved, library=True)
+
+    @property
+    def T(self) -> "LegateishArray":
+        return self._wrap(self.data.T.copy(), 0,
+                          self.data.nbytes if self.runtime.nodes > 1 else 0)
+
+    def sum(self):
+        return self._wrap(np.array([self.data.sum()]), self.data.size,
+                          8 * self.runtime.nodes)
+
+    def __getitem__(self, item):
+        view = self.data[item]
+        self.runtime.charge(0, 0)
+        return LegateishArray(np.asarray(view), self.runtime)
+
+    def __setitem__(self, item, value):
+        self.runtime.charge(np.asarray(self.data[item]).size, 0)
+        self.data[item] = self._coerce(value)
+
+    def copy(self) -> "LegateishArray":
+        return self._wrap(self.data.copy(), 0, 0)
+
+    def numpy(self) -> np.ndarray:
+        return self.data

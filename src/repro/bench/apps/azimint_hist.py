@@ -1,0 +1,48 @@
+"""azimint_hist: azimuthal integration via histogram binning (pyFAI [41])."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+NPT = repro.symbol("NPT")
+
+
+@repro.program
+def azimint_hist(data: repro.float64[N], radius: repro.float64[N],
+                 res: repro.float64[NPT]):
+    rmax = np.max(radius)
+    counts = np.zeros((NPT,))
+    sums = np.zeros((NPT,))
+    for i in repro.map[0:N]:
+        b = int(radius[i] / rmax * NPT)
+        if b >= NPT:
+            b = NPT - 1
+        counts[b] += 1.0
+        sums[b] += data[i]
+    res[:] = sums / np.maximum(counts, 1.0)
+
+
+def reference(data, radius, res):
+    npt = res.shape[0]
+    rmax = radius.max()
+    b = np.minimum((radius / rmax * npt).astype(np.int64), npt - 1)
+    counts = np.bincount(b, minlength=npt).astype(np.float64)
+    sums = np.bincount(b, weights=data, minlength=npt)
+    res[:] = sums / np.maximum(counts, 1.0)
+
+
+def init(sizes):
+    n, npt = sizes["N"], sizes["NPT"]
+    rng = np.random.default_rng(42)
+    return {"data": rng.random(n), "radius": rng.random(n),
+            "res": np.zeros(npt)}
+
+
+register(Benchmark(
+    "azimint_hist", azimint_hist, reference, init,
+    sizes={"test": dict(N=200, NPT=10),
+           "small": dict(N=40000, NPT=100),
+           "large": dict(N=400000, NPT=1000)},
+    outputs=("res",), domain="apps", fpga=False))

@@ -1,0 +1,51 @@
+"""azimint_naive: azimuthal integration, naive masked-mean form (pyFAI [41];
+boolean masks rewritten as where/sum, see DESIGN.md)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+NPT = repro.symbol("NPT")
+
+
+@repro.program
+def azimint_naive(data: repro.float64[N], radius: repro.float64[N],
+                  res: repro.float64[NPT]):
+    rmax = np.max(radius)
+    for i in range(NPT):
+        r1 = rmax * i / NPT
+        r2 = rmax * (i + 1) / NPT
+        on = np.where((radius >= r1) * (radius < r2), 1.0, 0.0)
+        total = np.sum(on)
+        if total > 0.0:
+            res[i] = np.sum(data * on) / total
+        else:
+            res[i] = 0.0
+
+
+def reference(data, radius, res):
+    npt = res.shape[0]
+    rmax = radius.max()
+    for i in range(npt):
+        r1 = rmax * i / npt
+        r2 = rmax * (i + 1) / npt
+        mask = np.logical_and(radius >= r1, radius < r2)
+        total = mask.sum()
+        res[i] = data[mask].mean() if total > 0 else 0.0
+
+
+def init(sizes):
+    n, npt = sizes["N"], sizes["NPT"]
+    rng = np.random.default_rng(42)
+    return {"data": rng.random(n), "radius": rng.random(n),
+            "res": np.zeros(npt)}
+
+
+register(Benchmark(
+    "azimint_naive", azimint_naive, reference, init,
+    sizes={"test": dict(N=100, NPT=8),
+           "small": dict(N=40000, NPT=100),
+           "large": dict(N=400000, NPT=1000)},
+    outputs=("res",), domain="apps", fpga=False))

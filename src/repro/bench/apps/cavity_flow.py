@@ -1,0 +1,120 @@
+"""cavity_flow: lid-driven cavity (CFD Python, 12 steps to Navier-Stokes [9])."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+NX = repro.symbol("NX")
+NY = repro.symbol("NY")
+
+
+@repro.program
+def cavity_flow(u: repro.float64[NY, NX], v: repro.float64[NY, NX],
+                p: repro.float64[NY, NX], nt: repro.int64, nit: repro.int64,
+                dx: repro.float64, dy: repro.float64, dt: repro.float64,
+                rho: repro.float64, nu: repro.float64):
+    b = np.zeros((NY, NX))
+    un = np.zeros((NY, NX))
+    vn = np.zeros((NY, NX))
+    for step in range(nt):
+        b[1:-1, 1:-1] = rho * (1.0 / dt * ((u[1:-1, 2:] - u[1:-1, :-2]) / (2.0 * dx)
+                                           + (v[2:, 1:-1] - v[:-2, 1:-1]) / (2.0 * dy))
+                               - ((u[1:-1, 2:] - u[1:-1, :-2]) / (2.0 * dx)) ** 2
+                               - 2.0 * ((u[2:, 1:-1] - u[:-2, 1:-1]) / (2.0 * dy)
+                                        * (v[1:-1, 2:] - v[1:-1, :-2]) / (2.0 * dx))
+                               - ((v[2:, 1:-1] - v[:-2, 1:-1]) / (2.0 * dy)) ** 2)
+        for q in range(nit):
+            pn = p.copy()
+            p[1:-1, 1:-1] = (((pn[1:-1, 2:] + pn[1:-1, :-2]) * dy * dy
+                              + (pn[2:, 1:-1] + pn[:-2, 1:-1]) * dx * dx)
+                             / (2.0 * (dx * dx + dy * dy))
+                             - dx * dx * dy * dy / (2.0 * (dx * dx + dy * dy))
+                             * b[1:-1, 1:-1])
+            p[:, -1] = p[:, -2]
+            p[0, :] = p[1, :]
+            p[:, 0] = p[:, 1]
+            p[-1, :] = 0.0
+        un[:] = u
+        vn[:] = v
+        u[1:-1, 1:-1] = (un[1:-1, 1:-1]
+                         - un[1:-1, 1:-1] * dt / dx * (un[1:-1, 1:-1] - un[1:-1, :-2])
+                         - vn[1:-1, 1:-1] * dt / dy * (un[1:-1, 1:-1] - un[:-2, 1:-1])
+                         - dt / (2.0 * rho * dx) * (p[1:-1, 2:] - p[1:-1, :-2])
+                         + nu * (dt / (dx * dx) * (un[1:-1, 2:] - 2.0 * un[1:-1, 1:-1] + un[1:-1, :-2])
+                                 + dt / (dy * dy) * (un[2:, 1:-1] - 2.0 * un[1:-1, 1:-1] + un[:-2, 1:-1])))
+        v[1:-1, 1:-1] = (vn[1:-1, 1:-1]
+                         - un[1:-1, 1:-1] * dt / dx * (vn[1:-1, 1:-1] - vn[1:-1, :-2])
+                         - vn[1:-1, 1:-1] * dt / dy * (vn[1:-1, 1:-1] - vn[:-2, 1:-1])
+                         - dt / (2.0 * rho * dy) * (p[2:, 1:-1] - p[:-2, 1:-1])
+                         + nu * (dt / (dx * dx) * (vn[1:-1, 2:] - 2.0 * vn[1:-1, 1:-1] + vn[1:-1, :-2])
+                                 + dt / (dy * dy) * (vn[2:, 1:-1] - 2.0 * vn[1:-1, 1:-1] + vn[:-2, 1:-1])))
+        u[0, :] = 0.0
+        u[:, 0] = 0.0
+        u[:, -1] = 0.0
+        u[-1, :] = 1.0
+        v[0, :] = 0.0
+        v[-1, :] = 0.0
+        v[:, 0] = 0.0
+        v[:, -1] = 0.0
+
+
+def reference(u, v, p, nt, nit, dx, dy, dt, rho, nu):
+    ny, nx = u.shape
+    b = np.zeros((ny, nx))
+    for step in range(nt):
+        b[1:-1, 1:-1] = rho * (1.0 / dt * ((u[1:-1, 2:] - u[1:-1, :-2]) / (2.0 * dx)
+                                           + (v[2:, 1:-1] - v[:-2, 1:-1]) / (2.0 * dy))
+                               - ((u[1:-1, 2:] - u[1:-1, :-2]) / (2.0 * dx)) ** 2
+                               - 2.0 * ((u[2:, 1:-1] - u[:-2, 1:-1]) / (2.0 * dy)
+                                        * (v[1:-1, 2:] - v[1:-1, :-2]) / (2.0 * dx))
+                               - ((v[2:, 1:-1] - v[:-2, 1:-1]) / (2.0 * dy)) ** 2)
+        for q in range(nit):
+            pn = p.copy()
+            p[1:-1, 1:-1] = (((pn[1:-1, 2:] + pn[1:-1, :-2]) * dy * dy
+                              + (pn[2:, 1:-1] + pn[:-2, 1:-1]) * dx * dx)
+                             / (2.0 * (dx * dx + dy * dy))
+                             - dx * dx * dy * dy / (2.0 * (dx * dx + dy * dy))
+                             * b[1:-1, 1:-1])
+            p[:, -1] = p[:, -2]
+            p[0, :] = p[1, :]
+            p[:, 0] = p[:, 1]
+            p[-1, :] = 0.0
+        un = u.copy()
+        vn = v.copy()
+        u[1:-1, 1:-1] = (un[1:-1, 1:-1]
+                         - un[1:-1, 1:-1] * dt / dx * (un[1:-1, 1:-1] - un[1:-1, :-2])
+                         - vn[1:-1, 1:-1] * dt / dy * (un[1:-1, 1:-1] - un[:-2, 1:-1])
+                         - dt / (2.0 * rho * dx) * (p[1:-1, 2:] - p[1:-1, :-2])
+                         + nu * (dt / (dx * dx) * (un[1:-1, 2:] - 2.0 * un[1:-1, 1:-1] + un[1:-1, :-2])
+                                 + dt / (dy * dy) * (un[2:, 1:-1] - 2.0 * un[1:-1, 1:-1] + un[:-2, 1:-1])))
+        v[1:-1, 1:-1] = (vn[1:-1, 1:-1]
+                         - un[1:-1, 1:-1] * dt / dx * (vn[1:-1, 1:-1] - vn[1:-1, :-2])
+                         - vn[1:-1, 1:-1] * dt / dy * (vn[1:-1, 1:-1] - vn[:-2, 1:-1])
+                         - dt / (2.0 * rho * dy) * (p[2:, 1:-1] - p[:-2, 1:-1])
+                         + nu * (dt / (dx * dx) * (vn[1:-1, 2:] - 2.0 * vn[1:-1, 1:-1] + vn[1:-1, :-2])
+                                 + dt / (dy * dy) * (vn[2:, 1:-1] - 2.0 * vn[1:-1, 1:-1] + vn[:-2, 1:-1])))
+        u[0, :] = 0.0
+        u[:, 0] = 0.0
+        u[:, -1] = 0.0
+        u[-1, :] = 1.0
+        v[0, :] = 0.0
+        v[-1, :] = 0.0
+        v[:, 0] = 0.0
+        v[:, -1] = 0.0
+
+
+def init(sizes):
+    nx, ny, nt, nit = sizes["NX"], sizes["NY"], sizes["NT"], sizes["NIT"]
+    return {"u": np.zeros((ny, nx)), "v": np.zeros((ny, nx)),
+            "p": np.zeros((ny, nx)), "nt": nt, "nit": nit,
+            "dx": 2.0 / (nx - 1), "dy": 2.0 / (ny - 1), "dt": 0.001,
+            "rho": 1.0, "nu": 0.1}
+
+
+register(Benchmark(
+    "cavity_flow", cavity_flow, reference, init,
+    sizes={"test": dict(NX=12, NY=10, NT=3, NIT=4),
+           "small": dict(NX=41, NY=41, NT=50, NIT=50),
+           "large": dict(NX=101, NY=101, NT=200, NIT=50)},
+    outputs=("u", "v", "p"), domain="apps", fpga=False))

@@ -1,0 +1,51 @@
+"""crc16: CRC-16-CCITT checksum (bit manipulation; control-flow heavy) [60]."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def crc16(data: repro.int64[N]):
+    crc = 0xFFFF
+    for b in data:
+        cur_byte = 0xFF & b
+        for bit in range(8):
+            if (crc & 0x0001) ^ (cur_byte & 0x0001):
+                crc = (crc >> 1) ^ 0x8408
+            else:
+                crc >>= 1
+            cur_byte >>= 1
+    crc = (~crc & 0xFFFF)
+    crc = (crc << 8) | ((crc >> 8) & 0xFF)
+    return crc & 0xFFFF
+
+
+def reference(data):
+    crc = 0xFFFF
+    for b in data:
+        cur_byte = 0xFF & int(b)
+        for _ in range(8):
+            if (crc & 0x0001) ^ (cur_byte & 0x0001):
+                crc = (crc >> 1) ^ 0x8408
+            else:
+                crc >>= 1
+            cur_byte >>= 1
+    crc = (~crc & 0xFFFF)
+    crc = (crc << 8) | ((crc >> 8) & 0xFF)
+    return crc & 0xFFFF
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"data": rng.integers(0, 256, size=n).astype(np.int64)}
+
+
+register(Benchmark(
+    "crc16", crc16, reference, init,
+    sizes={"test": dict(N=24), "small": dict(N=2000), "large": dict(N=20000)},
+    outputs=(), domain="apps", gpu=False, fpga=False))

@@ -1,0 +1,34 @@
+"""go_fast: the Numba 5-minute-guide example (trace of tanh + broadcast)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def go_fast(a: repro.float64[N, N]):
+    trace = 0.0
+    for i in range(N):
+        trace += np.tanh(a[i, i])
+    return a + trace
+
+
+def reference(a):
+    trace = 0.0
+    for i in range(a.shape[0]):
+        trace += np.tanh(a[i, i])
+    return a + trace
+
+
+def init(sizes):
+    n = sizes["N"]
+    return {"a": np.arange(n * n, dtype=np.float64).reshape(n, n) / (n * n)}
+
+
+register(Benchmark(
+    "go_fast", go_fast, reference, init,
+    sizes={"test": dict(N=16), "small": dict(N=500), "large": dict(N=2000)},
+    outputs=(), domain="apps", gpu=False, fpga=False))

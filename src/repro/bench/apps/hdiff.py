@@ -1,0 +1,65 @@
+"""hdiff: COSMO horizontal diffusion stencil [8, 20]."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+I = repro.symbol("I")
+J = repro.symbol("J")
+K = repro.symbol("K")
+
+
+@repro.program
+def hdiff(in_field: repro.float64[I + 4, J + 4, K],
+          out_field: repro.float64[I, J, K],
+          coeff: repro.float64[I, J, K]):
+    lap_field = 4.0 * in_field[1:I + 3, 1:J + 3, :] - (
+        in_field[2:I + 4, 1:J + 3, :] + in_field[0:I + 2, 1:J + 3, :]
+        + in_field[1:I + 3, 2:J + 4, :] + in_field[1:I + 3, 0:J + 2, :])
+    res1 = lap_field[1:, 1:J + 1, :] - lap_field[:-1, 1:J + 1, :]
+    flx_field = np.where(
+        res1 * (in_field[2:I + 3, 2:J + 2, :] - in_field[1:I + 2, 2:J + 2, :]) > 0.0,
+        0.0, res1)
+    res2 = lap_field[1:I + 1, 1:, :] - lap_field[1:I + 1, :-1, :]
+    fly_field = np.where(
+        res2 * (in_field[2:I + 2, 2:J + 3, :] - in_field[2:I + 2, 1:J + 2, :]) > 0.0,
+        0.0, res2)
+    out_field[:] = in_field[2:I + 2, 2:J + 2, :] - coeff * (
+        flx_field[1:, :, :] - flx_field[:-1, :, :]
+        + fly_field[:, 1:, :] - fly_field[:, :-1, :])
+
+
+def reference(in_field, out_field, coeff):
+    ii = out_field.shape[0]
+    jj = out_field.shape[1]
+    lap_field = 4.0 * in_field[1:ii + 3, 1:jj + 3, :] - (
+        in_field[2:ii + 4, 1:jj + 3, :] + in_field[0:ii + 2, 1:jj + 3, :]
+        + in_field[1:ii + 3, 2:jj + 4, :] + in_field[1:ii + 3, 0:jj + 2, :])
+    res1 = lap_field[1:, 1:jj + 1, :] - lap_field[:-1, 1:jj + 1, :]
+    flx_field = np.where(
+        res1 * (in_field[2:ii + 3, 2:jj + 2, :] - in_field[1:ii + 2, 2:jj + 2, :]) > 0.0,
+        0.0, res1)
+    res2 = lap_field[1:ii + 1, 1:, :] - lap_field[1:ii + 1, :-1, :]
+    fly_field = np.where(
+        res2 * (in_field[2:ii + 2, 2:jj + 3, :] - in_field[2:ii + 2, 1:jj + 2, :]) > 0.0,
+        0.0, res2)
+    out_field[:] = in_field[2:ii + 2, 2:jj + 2, :] - coeff * (
+        flx_field[1:, :, :] - flx_field[:-1, :, :]
+        + fly_field[:, 1:, :] - fly_field[:, :-1, :])
+
+
+def init(sizes):
+    i, j, k = sizes["I"], sizes["J"], sizes["K"]
+    rng = np.random.default_rng(42)
+    return {"in_field": rng.random((i + 4, j + 4, k)),
+            "out_field": np.zeros((i, j, k)),
+            "coeff": rng.random((i, j, k))}
+
+
+register(Benchmark(
+    "hdiff", hdiff, reference, init,
+    sizes={"test": dict(I=8, J=8, K=4),
+           "small": dict(I=64, J=64, K=40),
+           "large": dict(I=256, J=256, K=64)},
+    outputs=("out_field",), domain="apps"))

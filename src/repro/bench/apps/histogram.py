@@ -1,0 +1,41 @@
+"""histogram: data-dependent binning (Numba examples [5]); exercises
+indirect write-conflict accumulation."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+BINS = repro.symbol("BINS")
+
+
+@repro.program
+def histogram(x: repro.float64[N], hist: repro.int64[BINS]):
+    for i in repro.map[0:N]:
+        b = int(x[i] * BINS)
+        if b >= 0:
+            if b < BINS:
+                hist[b] += 1
+
+
+def reference(x, hist):
+    bins = hist.shape[0]
+    for v in x:
+        b = int(v * bins)
+        if 0 <= b < bins:
+            hist[b] += 1
+
+
+def init(sizes):
+    n, bins = sizes["N"], sizes["BINS"]
+    rng = np.random.default_rng(42)
+    return {"x": rng.random(n), "hist": np.zeros(bins, dtype=np.int64)}
+
+
+register(Benchmark(
+    "histogram", histogram, reference, init,
+    sizes={"test": dict(N=200, BINS=10),
+           "small": dict(N=100000, BINS=64),
+           "large": dict(N=1000000, BINS=256)},
+    outputs=("hist",), domain="apps", fpga=False))

@@ -1,0 +1,57 @@
+"""mandelbrot1: escape-time fractal with per-pixel iteration [67]."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+W = repro.symbol("W")
+H = repro.symbol("H")
+
+
+@repro.program
+def mandelbrot1(output: repro.int64[H, W], maxiter: repro.int64):
+    for py, px in repro.map[0:H, 0:W]:
+        x0 = -2.0 + px * (0.5 - -2.0) / W
+        y0 = -1.25 + py * (1.25 - -1.25) / H
+        zx = 0.0
+        zy = 0.0
+        count = 0
+        for it in range(maxiter):
+            if zx * zx + zy * zy > 4.0:
+                break
+            tmp = zx * zx - zy * zy + x0
+            zy = 2.0 * zx * zy + y0
+            zx = tmp
+            count = count + 1
+        output[py, px] = count
+
+
+def reference(output, maxiter):
+    h, w = output.shape
+    for py in range(h):
+        for px in range(w):
+            x0 = -2.0 + px * 2.5 / w
+            y0 = -1.25 + py * 2.5 / h
+            zx = zy = 0.0
+            count = 0
+            for _ in range(maxiter):
+                if zx * zx + zy * zy > 4.0:
+                    break
+                zx, zy = zx * zx - zy * zy + x0, 2.0 * zx * zy + y0
+                count += 1
+            output[py, px] = count
+
+
+def init(sizes):
+    w, h = sizes["W"], sizes["H"]
+    return {"output": np.zeros((h, w), dtype=np.int64),
+            "maxiter": sizes.get("MAXITER", 20)}
+
+
+register(Benchmark(
+    "mandelbrot1", mandelbrot1, reference, init,
+    sizes={"test": dict(W=16, H=12, MAXITER=12),
+           "small": dict(W=200, H=150, MAXITER=50),
+           "large": dict(W=800, H=600, MAXITER=100)},
+    outputs=("output",), domain="apps", fpga=False))

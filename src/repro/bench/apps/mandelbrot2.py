@@ -1,0 +1,66 @@
+"""mandelbrot2: fractal variant with smooth (fractional) escape counts [67]."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+W = repro.symbol("W")
+H = repro.symbol("H")
+
+
+@repro.program
+def mandelbrot2(output: repro.float64[H, W], maxiter: repro.int64):
+    for py, px in repro.map[0:H, 0:W]:
+        x0 = -2.0 + px * 2.5 / W
+        y0 = -1.25 + py * 2.5 / H
+        zx = 0.0
+        zy = 0.0
+        smooth = 0.0
+        escaped = 0
+        for it in range(maxiter):
+            if escaped == 0:
+                if zx * zx + zy * zy > 4.0:
+                    smooth = it + 1.0 - np.log(np.log(zx * zx + zy * zy)) / 0.6931471805599453
+                    escaped = 1
+                else:
+                    tmp = zx * zx - zy * zy + x0
+                    zy = 2.0 * zx * zy + y0
+                    zx = tmp
+        if escaped == 0:
+            smooth = maxiter * 1.0
+        output[py, px] = smooth
+
+
+def reference(output, maxiter):
+    h, w = output.shape
+    for py in range(h):
+        for px in range(w):
+            x0 = -2.0 + px * 2.5 / w
+            y0 = -1.25 + py * 2.5 / h
+            zx = zy = 0.0
+            smooth = 0.0
+            escaped = False
+            for it in range(maxiter):
+                if not escaped:
+                    if zx * zx + zy * zy > 4.0:
+                        smooth = it + 1.0 - np.log(np.log(zx * zx + zy * zy)) / np.log(2.0)
+                        escaped = True
+                    else:
+                        zx, zy = zx * zx - zy * zy + x0, 2.0 * zx * zy + y0
+            if not escaped:
+                smooth = float(maxiter)
+            output[py, px] = smooth
+
+
+def init(sizes):
+    w, h = sizes["W"], sizes["H"]
+    return {"output": np.zeros((h, w)), "maxiter": sizes.get("MAXITER", 12)}
+
+
+register(Benchmark(
+    "mandelbrot2", mandelbrot2, reference, init,
+    sizes={"test": dict(W=12, H=10, MAXITER=10),
+           "small": dict(W=160, H=120, MAXITER=40),
+           "large": dict(W=640, H=480, MAXITER=80)},
+    outputs=("output",), domain="apps", fpga=False))

@@ -1,0 +1,59 @@
+"""nbody: gravitational N-body leapfrog integration [51]."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def nbody(mass: repro.float64[N, 1], pos: repro.float64[N, 3],
+          vel: repro.float64[N, 3], acc: repro.float64[N, 3],
+          Nt: repro.int64, dt: repro.float64, G: repro.float64,
+          softening: repro.float64):
+    for step in range(Nt):
+        vel += acc * (dt / 2.0)
+        pos += vel * dt
+        x = pos[:, 0:1]
+        y = pos[:, 1:2]
+        z = pos[:, 2:3]
+        dx = x.T - x
+        dy = y.T - y
+        dz = z.T - z
+        inv_r3 = dx * dx + dy * dy + dz * dz + softening * softening
+        inv_r3 = inv_r3 ** (-1.5)
+        acc[:, 0:1] = G * ((dx * inv_r3) @ mass)
+        acc[:, 1:2] = G * ((dy * inv_r3) @ mass)
+        acc[:, 2:3] = G * ((dz * inv_r3) @ mass)
+        vel += acc * (dt / 2.0)
+
+
+def reference(mass, pos, vel, acc, Nt, dt, G, softening):
+    for step in range(Nt):
+        vel += acc * (dt / 2.0)
+        pos += vel * dt
+        x, y, z = pos[:, 0:1], pos[:, 1:2], pos[:, 2:3]
+        dx, dy, dz = x.T - x, y.T - y, z.T - z
+        inv_r3 = (dx ** 2 + dy ** 2 + dz ** 2 + softening ** 2) ** (-1.5)
+        acc[:, 0:1] = G * ((dx * inv_r3) @ mass)
+        acc[:, 1:2] = G * ((dy * inv_r3) @ mass)
+        acc[:, 2:3] = G * ((dz * inv_r3) @ mass)
+        vel += acc * (dt / 2.0)
+
+
+def init(sizes):
+    n, nt = sizes["N"], sizes["NT"]
+    rng = np.random.default_rng(17)
+    return {"mass": np.full((n, 1), 20.0 / n), "pos": rng.random((n, 3)) - 0.5,
+            "vel": rng.random((n, 3)) - 0.5, "acc": np.zeros((n, 3)),
+            "Nt": nt, "dt": 0.01, "G": 1.0, "softening": 0.1}
+
+
+register(Benchmark(
+    "nbody", nbody, reference, init,
+    sizes={"test": dict(N=12, NT=4),
+           "small": dict(N=200, NT=20),
+           "large": dict(N=1000, NT=50)},
+    outputs=("pos", "vel", "acc"), domain="apps", fpga=False))

@@ -1,0 +1,66 @@
+"""resnet: a conv + batch-norm + ReLU residual block [37, 49].
+
+Convolution is written as an explicit parametric map with inner reduction
+loops — the paper notes this formulation produces many atomics on GPU,
+making resnet the one case where CuPy wins (Fig. 8)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+B = repro.symbol("B")
+HH = repro.symbol("HH")
+WW = repro.symbol("WW")
+CIN = repro.symbol("CIN")
+COUT = repro.symbol("COUT")
+KK = repro.symbol("KK")
+
+
+@repro.program
+def resnet(inputs: repro.float64[B, HH, WW, CIN],
+           weights: repro.float64[KK, KK, CIN, COUT],
+           out: repro.float64[B, HH - KK + 1, WW - KK + 1, COUT]):
+    for b, i, j, co in repro.map[0:B, 0:HH - KK + 1, 0:WW - KK + 1, 0:COUT]:
+        acc = 0.0
+        for ki in range(KK):
+            for kj in range(KK):
+                for ci in range(CIN):
+                    acc += inputs[b, i + ki, j + kj, ci] * weights[ki, kj, ci, co]
+        out[b, i, j, co] = acc
+    # batch normalization (per output channel) + ReLU
+    mean = np.mean(out, axis=0)
+    mean2 = np.mean(out * out, axis=0)
+    std = np.sqrt(mean2 - mean * mean + 1e-5)
+    out[:] = np.maximum((out - mean) / std, 0.0)
+
+
+def reference(inputs, weights, out):
+    kk = weights.shape[0]
+    h_out = inputs.shape[1] - kk + 1
+    w_out = inputs.shape[2] - kk + 1
+    for i in range(h_out):
+        for j in range(w_out):
+            out[:, i, j, :] = np.sum(
+                inputs[:, i:i + kk, j:j + kk, :, np.newaxis]
+                * weights[np.newaxis], axis=(1, 2, 3))
+    mean = np.mean(out, axis=0)
+    std = np.sqrt(np.mean(out * out, axis=0) - mean ** 2 + 1e-5)
+    out[:] = np.maximum((out - mean) / std, 0.0)
+
+
+def init(sizes):
+    b, h, w, cin, cout, k = (sizes["B"], sizes["H"], sizes["W"], sizes["CIN"],
+                             sizes["COUT"], sizes["K"])
+    rng = np.random.default_rng(42)
+    return {"inputs": rng.random((b, h, w, cin)),
+            "weights": rng.random((k, k, cin, cout)),
+            "out": np.zeros((b, h - k + 1, w - k + 1, cout))}
+
+
+register(Benchmark(
+    "resnet", resnet, reference, init,
+    sizes={"test": dict(B=2, H=8, W=8, CIN=3, COUT=4, K=3),
+           "small": dict(B=4, H=28, W=28, CIN=8, COUT=16, K=3),
+           "large": dict(B=8, H=56, W=56, CIN=16, COUT=32, K=3)},
+    outputs=("out",), domain="apps", fpga=False))

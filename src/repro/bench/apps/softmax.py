@@ -1,0 +1,38 @@
+"""softmax: numerically-stable softmax over attention-shaped tensors [40]."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+H = repro.symbol("H")
+SM = repro.symbol("SM")
+
+
+@repro.program
+def softmax(x: repro.float64[N, H, SM, SM], out: repro.float64[N, H, SM, SM]):
+    for i, j, k in repro.map[0:N, 0:H, 0:SM]:
+        row_max = np.max(x[i, j, k, :])
+        e = np.exp(x[i, j, k, :] - row_max)
+        out[i, j, k, :] = e / np.sum(e)
+
+
+def reference(x, out):
+    m = np.max(x, axis=-1)[..., np.newaxis]
+    e = np.exp(x - m)
+    out[:] = e / np.sum(e, axis=-1)[..., np.newaxis]
+
+
+def init(sizes):
+    n, h, sm = sizes["N"], sizes["H"], sizes["SM"]
+    rng = np.random.default_rng(42)
+    return {"x": rng.random((n, h, sm, sm)), "out": np.zeros((n, h, sm, sm))}
+
+
+register(Benchmark(
+    "softmax", softmax, reference, init,
+    sizes={"test": dict(N=2, H=3, SM=8),
+           "small": dict(N=8, H=8, SM=32),
+           "large": dict(N=16, H=16, SM=64)},
+    outputs=("out",), domain="apps"))

@@ -1,0 +1,46 @@
+"""spmv: CSR sparse matrix-vector product (indirect reads, data-dependent
+loop bounds)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+NNZ = repro.symbol("NNZ")
+
+
+@repro.program
+def spmv(rowptr: repro.int64[M + 1], col: repro.int64[NNZ],
+         val: repro.float64[NNZ], x: repro.float64[M],
+         y: repro.float64[M]):
+    for i in range(M):
+        y[i] = 0.0
+        for j in range(rowptr[i], rowptr[i + 1]):
+            y[i] += val[j] * x[col[j]]
+
+
+def reference(rowptr, col, val, x, y):
+    for i in range(y.shape[0]):
+        y[i] = 0.0
+        for j in range(rowptr[i], rowptr[i + 1]):
+            y[i] += val[j] * x[col[j]]
+
+
+def init(sizes):
+    m, nnz_per_row = sizes["M"], sizes.get("NNZ_PER_ROW", 4)
+    rng = np.random.default_rng(42)
+    nnz = m * nnz_per_row
+    rowptr = np.arange(0, nnz + 1, nnz_per_row, dtype=np.int64)
+    col = rng.integers(0, m, size=nnz).astype(np.int64)
+    val = rng.random(nnz)
+    return {"rowptr": rowptr, "col": col, "val": val, "x": rng.random(m),
+            "y": np.zeros(m)}
+
+
+register(Benchmark(
+    "spmv", spmv, reference, init,
+    sizes={"test": dict(M=20, NNZ_PER_ROW=3),
+           "small": dict(M=5000, NNZ_PER_ROW=8),
+           "large": dict(M=100000, NNZ_PER_ROW=16)},
+    outputs=("y",), domain="apps", gpu=False, fpga=False))

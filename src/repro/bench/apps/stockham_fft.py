@@ -1,0 +1,46 @@
+"""stockham_fft: discrete Fourier transform [15].
+
+Substitution note (DESIGN.md): the paper's benchmark is a Stockham radix-2
+FFT; the reshape/stride juggling it needs is outside our frontend subset, so
+this entry computes the same transform with an O(N^2) DFT map, exercising
+complex arithmetic and WCR accumulation.  The reference uses the same
+algorithm (validated against np.fft in the test suite)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def stockham_fft(xr: repro.float64[N], xi: repro.float64[N],
+                 yr: repro.float64[N], yi: repro.float64[N]):
+    for k, n in repro.map[0:N, 0:N]:
+        angle = -2.0 * 3.141592653589793 * k * n / N
+        c = np.cos(angle)
+        s = np.sin(angle)
+        yr[k] += xr[n] * c - xi[n] * s
+        yi[k] += xr[n] * s + xi[n] * c
+
+
+def reference(xr, xi, yr, yi):
+    n = xr.shape[0]
+    spectrum = np.fft.fft(xr + 1j * xi)
+    yr += spectrum.real
+    yi += spectrum.imag
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"xr": rng.random(n), "xi": rng.random(n),
+            "yr": np.zeros(n), "yi": np.zeros(n)}
+
+
+register(Benchmark(
+    "stockham_fft", stockham_fft, reference, init,
+    sizes={"test": dict(N=32), "small": dict(N=512), "large": dict(N=2048)},
+    outputs=("yr", "yi"), domain="apps", fpga=False,
+    notes="naive-DFT substitution for the Stockham FFT (see DESIGN.md)"))

@@ -1,0 +1,121 @@
+"""vadv: COSMO vertical advection (upstream scheme, condensed) [8, 20]."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+I = repro.symbol("I")
+J = repro.symbol("J")
+K = repro.symbol("K")
+
+
+@repro.program
+def vadv(utens_stage: repro.float64[I, J, K], u_stage: repro.float64[I, J, K],
+         wcon: repro.float64[I + 1, J, K], u_pos: repro.float64[I, J, K],
+         utens: repro.float64[I, J, K], dtr_stage: repro.float64):
+    ccol = np.zeros((I, J, K))
+    dcol = np.zeros((I, J, K))
+    # forward sweep
+    gcv0 = 0.25 * (wcon[1:, :, 1] + wcon[:-1, :, 1])
+    cs0 = gcv0 * 0.04761904761904762
+    ccol[:, :, 0] = gcv0 * 0.3333333333333333
+    bcol0 = dtr_stage - ccol[:, :, 0]
+    correction0 = -cs0 * (u_stage[:, :, 1] - u_stage[:, :, 0])
+    dcol[:, :, 0] = (dtr_stage * u_pos[:, :, 0] + utens[:, :, 0]
+                     + utens_stage[:, :, 0] + correction0)
+    ccol[:, :, 0] = ccol[:, :, 0] / bcol0
+    dcol[:, :, 0] = dcol[:, :, 0] / bcol0
+    for k in range(1, K - 1):
+        gav = -0.25 * (wcon[1:, :, k] + wcon[:-1, :, k])
+        gcv = 0.25 * (wcon[1:, :, k + 1] + wcon[:-1, :, k + 1])
+        as_ = gav * 0.3333333333333333
+        cs = gcv * 0.04761904761904762
+        acol = gav * 0.04761904761904762
+        ccol[:, :, k] = gcv * 0.3333333333333333
+        bcol = dtr_stage - acol - ccol[:, :, k]
+        correction = -as_ * (u_stage[:, :, k - 1] - u_stage[:, :, k]) \
+            - cs * (u_stage[:, :, k + 1] - u_stage[:, :, k])
+        dcol[:, :, k] = (dtr_stage * u_pos[:, :, k] + utens[:, :, k]
+                         + utens_stage[:, :, k] + correction)
+        divided = 1.0 / (bcol - ccol[:, :, k - 1] * acol)
+        ccol[:, :, k] = ccol[:, :, k] * divided
+        dcol[:, :, k] = (dcol[:, :, k] - dcol[:, :, k - 1] * acol) * divided
+    gav_last = -0.25 * (wcon[1:, :, K - 1] + wcon[:-1, :, K - 1])
+    as_last = gav_last * 0.3333333333333333
+    acol_last = gav_last * 0.04761904761904762
+    bcol_last = dtr_stage - acol_last
+    correction_last = -as_last * (u_stage[:, :, K - 2] - u_stage[:, :, K - 1])
+    dcol[:, :, K - 1] = (dtr_stage * u_pos[:, :, K - 1] + utens[:, :, K - 1]
+                         + utens_stage[:, :, K - 1] + correction_last)
+    divided_last = 1.0 / (bcol_last - ccol[:, :, K - 2] * acol_last)
+    dcol[:, :, K - 1] = (dcol[:, :, K - 1] - dcol[:, :, K - 2] * acol_last) \
+        * divided_last
+    # backward sweep
+    utens_stage[:, :, K - 1] = dtr_stage * (dcol[:, :, K - 1]
+                                            - u_pos[:, :, K - 1])
+    for k in range(K - 2, -1, -1):
+        dcol[:, :, k] = dcol[:, :, k] - ccol[:, :, k] * dcol[:, :, k + 1]
+        utens_stage[:, :, k] = dtr_stage * (dcol[:, :, k] - u_pos[:, :, k])
+
+
+def reference(utens_stage, u_stage, wcon, u_pos, utens, dtr_stage):
+    ii, jj, kk = utens_stage.shape
+    ccol = np.zeros((ii, jj, kk))
+    dcol = np.zeros((ii, jj, kk))
+    gcv0 = 0.25 * (wcon[1:, :, 1] + wcon[:-1, :, 1])
+    cs0 = gcv0 * 0.04761904761904762
+    ccol[:, :, 0] = gcv0 * (1.0 / 3.0)
+    bcol0 = dtr_stage - ccol[:, :, 0]
+    correction0 = -cs0 * (u_stage[:, :, 1] - u_stage[:, :, 0])
+    dcol[:, :, 0] = (dtr_stage * u_pos[:, :, 0] + utens[:, :, 0]
+                     + utens_stage[:, :, 0] + correction0)
+    ccol[:, :, 0] /= bcol0
+    dcol[:, :, 0] /= bcol0
+    for k in range(1, kk - 1):
+        gav = -0.25 * (wcon[1:, :, k] + wcon[:-1, :, k])
+        gcv = 0.25 * (wcon[1:, :, k + 1] + wcon[:-1, :, k + 1])
+        as_ = gav * (1.0 / 3.0)
+        cs = gcv * 0.04761904761904762
+        acol = gav * 0.04761904761904762
+        ccol[:, :, k] = gcv * (1.0 / 3.0)
+        bcol = dtr_stage - acol - ccol[:, :, k]
+        correction = -as_ * (u_stage[:, :, k - 1] - u_stage[:, :, k]) \
+            - cs * (u_stage[:, :, k + 1] - u_stage[:, :, k])
+        dcol[:, :, k] = (dtr_stage * u_pos[:, :, k] + utens[:, :, k]
+                         + utens_stage[:, :, k] + correction)
+        divided = 1.0 / (bcol - ccol[:, :, k - 1] * acol)
+        ccol[:, :, k] *= divided
+        dcol[:, :, k] = (dcol[:, :, k] - dcol[:, :, k - 1] * acol) * divided
+    gav_l = -0.25 * (wcon[1:, :, kk - 1] + wcon[:-1, :, kk - 1])
+    as_l = gav_l * (1.0 / 3.0)
+    acol_l = gav_l * 0.04761904761904762
+    bcol_l = dtr_stage - acol_l
+    corr_l = -as_l * (u_stage[:, :, kk - 2] - u_stage[:, :, kk - 1])
+    dcol[:, :, kk - 1] = (dtr_stage * u_pos[:, :, kk - 1] + utens[:, :, kk - 1]
+                          + utens_stage[:, :, kk - 1] + corr_l)
+    div_l = 1.0 / (bcol_l - ccol[:, :, kk - 2] * acol_l)
+    dcol[:, :, kk - 1] = (dcol[:, :, kk - 1] - dcol[:, :, kk - 2] * acol_l) * div_l
+    utens_stage[:, :, kk - 1] = dtr_stage * (dcol[:, :, kk - 1]
+                                             - u_pos[:, :, kk - 1])
+    for k in range(kk - 2, -1, -1):
+        dcol[:, :, k] -= ccol[:, :, k] * dcol[:, :, k + 1]
+        utens_stage[:, :, k] = dtr_stage * (dcol[:, :, k] - u_pos[:, :, k])
+
+
+def init(sizes):
+    i, j, k = sizes["I"], sizes["J"], sizes["K"]
+    rng = np.random.default_rng(42)
+    return {"utens_stage": rng.random((i, j, k)),
+            "u_stage": rng.random((i, j, k)),
+            "wcon": rng.random((i + 1, j, k)) + 0.1,
+            "u_pos": rng.random((i, j, k)),
+            "utens": rng.random((i, j, k)), "dtr_stage": 3.0 / 20.0}
+
+
+register(Benchmark(
+    "vadv", vadv, reference, init,
+    sizes={"test": dict(I=6, J=6, K=8),
+           "small": dict(I=64, J=64, K=40),
+           "large": dict(I=256, J=256, K=64)},
+    outputs=("utens_stage",), domain="apps", gpu=False, fpga=False))

@@ -1,0 +1,94 @@
+"""Table 2: the distributed benchmark suite — initial problem sizes per
+framework and weak-scaling factors as functions of the process count S.
+
+Scaling-factor semantics follow the paper: ``sqrtS`` multiplies a dimension
+by sqrt(S), ``cbrtS`` by S^(1/3), ``S`` linearly, ``-`` keeps it fixed.
+Sizes are rounded to multiples of the process-grid dimensions so block
+distributions stay uniform (the functional runtime requires divisibility).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..simmpi.grid import balanced_dims
+
+__all__ = ["DistributedBenchmark", "TABLE2", "scaled_sizes"]
+
+
+@dataclass(frozen=True)
+class DistributedBenchmark:
+    """One Table 2 row."""
+
+    name: str
+    params: Tuple[str, ...]
+    dace_sizes: Tuple[int, ...]          # DaCe/Legate initial problem size
+    dask_sizes: Tuple[int, ...]          # Dask (halved; see §4.4)
+    scaling: Tuple[str, ...]             # per-parameter factor
+    pattern: str                         # communication pattern class
+    #: flops as a function of the size dict (weak-scaling work)
+    flop_exponents: Dict[str, float] = field(default_factory=dict)
+
+
+TABLE2: Dict[str, DistributedBenchmark] = {b.name: b for b in [
+    DistributedBenchmark(
+        "atax", ("M", "N"), (20000, 25000), (10000, 12500),
+        ("sqrtS", "sqrtS"), "matvec"),
+    DistributedBenchmark(
+        "bicg", ("M", "N"), (25000, 20000), (12500, 10000),
+        ("sqrtS", "sqrtS"), "matvec"),
+    DistributedBenchmark(
+        "doitgen", ("NR", "NQ", "NP"), (128, 512, 512), (128, 512, 512),
+        ("S", "-", "-"), "embarrassing"),
+    DistributedBenchmark(
+        "gemm", ("NI", "NJ", "NK"), (8000, 9200, 5200), (4000, 4600, 2600),
+        ("cbrtS", "cbrtS", "cbrtS"), "matmul"),
+    DistributedBenchmark(
+        "gemver", ("N",), (10000,), (5000,), ("sqrtS",), "matvec"),
+    DistributedBenchmark(
+        "gesummv", ("N",), (22400,), (11400,), ("sqrtS",), "matvec"),
+    DistributedBenchmark(
+        "jacobi_1d", ("T", "N"), (1000, 24000), (1000, 24000),
+        ("-", "S"), "stencil1d"),
+    DistributedBenchmark(
+        "jacobi_2d", ("T", "N"), (1000, 1300), (1000, 1300),
+        ("-", "sqrtS"), "stencil2d"),
+    DistributedBenchmark(
+        "k2mm", ("NI", "NJ", "NK", "NM"), (6400, 7200, 4400, 4800),
+        (3200, 3600, 2200, 2400), ("cbrtS",) * 4, "matmul"),
+    DistributedBenchmark(
+        "k3mm", ("NI", "NJ", "NK", "NL", "NM"), (6400, 7200, 4000, 4400, 4800),
+        (3200, 3600, 2000, 2200, 2400), ("cbrtS",) * 5, "matmul"),
+    DistributedBenchmark(
+        "mvt", ("N",), (22000,), (11000,), ("sqrtS",), "matvec"),
+]}
+
+
+def _factor(kind: str, procs: int) -> float:
+    if kind == "-":
+        return 1.0
+    if kind == "S":
+        return float(procs)
+    if kind == "sqrtS":
+        return math.sqrt(procs)
+    if kind == "cbrtS":
+        return procs ** (1.0 / 3.0)
+    raise ValueError(f"unknown scaling factor {kind!r}")
+
+
+def scaled_sizes(bench: DistributedBenchmark, procs: int,
+                 framework: str = "dace",
+                 align_to_grid: bool = True) -> Dict[str, int]:
+    """Problem sizes for *procs* processes under weak scaling (Table 2)."""
+    base = bench.dace_sizes if framework in ("dace", "legate") else bench.dask_sizes
+    grid = balanced_dims(procs)
+    sizes: Dict[str, int] = {}
+    for param, initial, kind in zip(bench.params, base, bench.scaling):
+        value = int(round(initial * _factor(kind, procs)))
+        if align_to_grid and kind != "-":
+            multiple = grid[0] * grid[1]
+            value = max(multiple, (value // multiple) * multiple)
+        sizes[param] = value
+    return sizes

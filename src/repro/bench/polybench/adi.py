@@ -1,0 +1,113 @@
+"""adi: alternating-direction implicit heat solver (column sweeps with
+sequential recurrences, the paper's hardest stencil-like kernel)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def adi(TSTEPS: repro.int32, u: repro.float64[N, N], v: repro.float64[N, N]):
+    p = np.zeros((N, N))
+    q = np.zeros((N, N))
+    DX = 1.0 / N
+    DT = 1.0 / TSTEPS
+    B1 = 2.0
+    B2 = 1.0
+    mul1 = B1 * DT / (DX * DX)
+    mul2 = B2 * DT / (DX * DX)
+    a = -mul1 / 2.0
+    b = 1.0 + mul1
+    c = -mul1 / 2.0
+    d = -mul2 / 2.0
+    e = 1.0 + mul2
+    f = -mul2 / 2.0
+    for t in range(1, TSTEPS + 1):
+        # column sweep
+        v[0, 1:N - 1] = 1.0
+        p[1:N - 1, 0] = 0.0
+        q[1:N - 1, 0] = v[0, 1:N - 1]
+        for j in range(1, N - 1):
+            p[1:N - 1, j] = -c / (a * p[1:N - 1, j - 1] + b)
+            q[1:N - 1, j] = (-d * u[j, 0:N - 2]
+                             + (1.0 + 2.0 * d) * u[j, 1:N - 1]
+                             - f * u[j, 2:N]
+                             - a * q[1:N - 1, j - 1]) \
+                / (a * p[1:N - 1, j - 1] + b)
+        v[N - 1, 1:N - 1] = 1.0
+        for j in range(N - 2, 0, -1):
+            v[j, 1:N - 1] = p[1:N - 1, j] * v[j + 1, 1:N - 1] + q[1:N - 1, j]
+        # row sweep
+        u[1:N - 1, 0] = 1.0
+        p[1:N - 1, 0] = 0.0
+        q[1:N - 1, 0] = u[1:N - 1, 0]
+        for j in range(1, N - 1):
+            p[1:N - 1, j] = -f / (d * p[1:N - 1, j - 1] + e)
+            q[1:N - 1, j] = (-a * v[0:N - 2, j]
+                             + (1.0 + 2.0 * a) * v[1:N - 1, j]
+                             - c * v[2:N, j]
+                             - d * q[1:N - 1, j - 1]) \
+                / (d * p[1:N - 1, j - 1] + e)
+        u[1:N - 1, N - 1] = 1.0
+        for j in range(N - 2, 0, -1):
+            u[1:N - 1, j] = p[1:N - 1, j] * u[1:N - 1, j + 1] + q[1:N - 1, j]
+
+
+def reference(TSTEPS, u, v):
+    n = u.shape[0]
+    p = np.zeros((n, n))
+    q = np.zeros((n, n))
+    DX = 1.0 / n
+    DT = 1.0 / TSTEPS
+    mul1 = 2.0 * DT / (DX * DX)
+    mul2 = 1.0 * DT / (DX * DX)
+    a = -mul1 / 2.0
+    b = 1.0 + mul1
+    c = -mul1 / 2.0
+    d = -mul2 / 2.0
+    e = 1.0 + mul2
+    f = -mul2 / 2.0
+    for t in range(1, TSTEPS + 1):
+        v[0, 1:n - 1] = 1.0
+        p[1:n - 1, 0] = 0.0
+        q[1:n - 1, 0] = v[0, 1:n - 1]
+        for j in range(1, n - 1):
+            p[1:n - 1, j] = -c / (a * p[1:n - 1, j - 1] + b)
+            q[1:n - 1, j] = (-d * u[j, 0:n - 2]
+                             + (1.0 + 2.0 * d) * u[j, 1:n - 1]
+                             - f * u[j, 2:n]
+                             - a * q[1:n - 1, j - 1]) \
+                / (a * p[1:n - 1, j - 1] + b)
+        v[n - 1, 1:n - 1] = 1.0
+        for j in range(n - 2, 0, -1):
+            v[j, 1:n - 1] = p[1:n - 1, j] * v[j + 1, 1:n - 1] + q[1:n - 1, j]
+        u[1:n - 1, 0] = 1.0
+        p[1:n - 1, 0] = 0.0
+        q[1:n - 1, 0] = u[1:n - 1, 0]
+        for j in range(1, n - 1):
+            p[1:n - 1, j] = -f / (d * p[1:n - 1, j - 1] + e)
+            q[1:n - 1, j] = (-a * v[0:n - 2, j]
+                             + (1.0 + 2.0 * a) * v[1:n - 1, j]
+                             - c * v[2:n, j]
+                             - d * q[1:n - 1, j - 1]) \
+                / (d * p[1:n - 1, j - 1] + e)
+        u[1:n - 1, n - 1] = 1.0
+        for j in range(n - 2, 0, -1):
+            u[1:n - 1, j] = p[1:n - 1, j] * u[1:n - 1, j + 1] + q[1:n - 1, j]
+
+
+def init(sizes):
+    n, t = sizes["N"], sizes["TSTEPS"]
+    rng = np.random.default_rng(42)
+    return {"TSTEPS": t, "u": rng.random((n, n)), "v": np.zeros((n, n))}
+
+
+register(Benchmark(
+    "adi", adi, reference, init,
+    sizes={"test": dict(N=12, TSTEPS=3),
+           "small": dict(N=150, TSTEPS=20),
+           "large": dict(N=500, TSTEPS=50)},
+    outputs=("u", "v"), gpu=False, fpga=False))

@@ -1,0 +1,32 @@
+"""atax: y = A.T @ (A @ x)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+N = repro.symbol("N")
+
+
+@repro.program
+def atax(A: repro.float64[M, N], x: repro.float64[N], y: repro.float64[N]):
+    y[:] = (A @ x) @ A
+
+
+def reference(A, x, y):
+    y[:] = (A @ x) @ A
+
+
+def init(sizes):
+    m, n = sizes["M"], sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"A": rng.random((m, n)), "x": rng.random(n), "y": np.zeros(n)}
+
+
+register(Benchmark(
+    "atax", atax, reference, init,
+    sizes={"test": dict(M=14, N=18),
+           "small": dict(M=600, N=700),
+           "large": dict(M=2000, N=2500)},
+    outputs=("y",)))

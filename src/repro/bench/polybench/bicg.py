@@ -1,0 +1,36 @@
+"""bicg: q = A @ p, s = A.T @ r (BiCGStab subkernel)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+N = repro.symbol("N")
+
+
+@repro.program
+def bicg(A: repro.float64[N, M], p: repro.float64[M], r: repro.float64[N],
+         q: repro.float64[N], s: repro.float64[M]):
+    q[:] = A @ p
+    s[:] = r @ A
+
+
+def reference(A, p, r, q, s):
+    q[:] = A @ p
+    s[:] = r @ A
+
+
+def init(sizes):
+    m, n = sizes["M"], sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"A": rng.random((n, m)), "p": rng.random(m), "r": rng.random(n),
+            "q": np.zeros(n), "s": np.zeros(m)}
+
+
+register(Benchmark(
+    "bicg", bicg, reference, init,
+    sizes={"test": dict(M=14, N=18),
+           "small": dict(M=600, N=700),
+           "large": dict(M=2000, N=2500)},
+    outputs=("q", "s")))

@@ -1,0 +1,45 @@
+"""cholesky: Cholesky decomposition (in-place, lower triangle)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def cholesky(A: repro.float64[N, N]):
+    A[0, 0] = np.sqrt(A[0, 0])
+    for i in range(1, N):
+        for j in range(i):
+            A[i, j] -= A[i, :j] @ A[j, :j]
+            A[i, j] /= A[j, j]
+        A[i, i] -= A[i, :i] @ A[i, :i]
+        A[i, i] = np.sqrt(A[i, i])
+
+
+def reference(A):
+    n = A.shape[0]
+    A[0, 0] = np.sqrt(A[0, 0])
+    for i in range(1, n):
+        for j in range(i):
+            A[i, j] -= A[i, :j] @ A[j, :j]
+            A[i, j] /= A[j, j]
+        A[i, i] -= A[i, :i] @ A[i, :i]
+        A[i, i] = np.sqrt(A[i, i])
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    A = rng.random((n, n))
+    return {"A": A @ A.T + n * np.eye(n)}
+
+
+register(Benchmark(
+    "cholesky", cholesky, reference, init,
+    sizes={"test": dict(N=10),
+           "small": dict(N=80),
+           "large": dict(N=220)},
+    outputs=("A",), gpu=False, fpga=False))

@@ -1,0 +1,44 @@
+"""correlation: correlation matrix of a data set (numpy-natural form)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+NN = repro.symbol("NN")
+
+
+@repro.program
+def correlation(float_n: repro.float64, data: repro.float64[NN, M],
+                corr: repro.float64[M, M]):
+    mean = np.mean(data, axis=0)
+    centered = data - mean
+    stddev = np.sqrt(np.mean(centered * centered, axis=0))
+    stddev[:] = np.where(stddev <= 0.1, 1.0, stddev)
+    data[:] = centered / (np.sqrt(float_n) * stddev)
+    corr[:] = data.T @ data
+
+
+def reference(float_n, data, corr):
+    mean = np.mean(data, axis=0)
+    centered = data - mean
+    stddev = np.sqrt(np.mean(centered * centered, axis=0))
+    stddev[:] = np.where(stddev <= 0.1, 1.0, stddev)
+    data[:] = centered / (np.sqrt(float_n) * stddev)
+    corr[:] = data.T @ data
+
+
+def init(sizes):
+    m, n = sizes["M"], sizes["NN"]
+    rng = np.random.default_rng(42)
+    return {"float_n": float(n), "data": rng.random((n, m)),
+            "corr": np.zeros((m, m))}
+
+
+register(Benchmark(
+    "correlation", correlation, reference, init,
+    sizes={"test": dict(M=12, NN=16),
+           "small": dict(M=200, NN=240),
+           "large": dict(M=700, NN=800)},
+    outputs=("data", "corr")))

@@ -1,0 +1,38 @@
+"""covariance: covariance matrix of a data set."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+NN = repro.symbol("NN")
+
+
+@repro.program
+def covariance(float_n: repro.float64, data: repro.float64[NN, M],
+               cov: repro.float64[M, M]):
+    mean = np.mean(data, axis=0)
+    data -= mean
+    cov[:] = data.T @ data / (float_n - 1.0)
+
+
+def reference(float_n, data, cov):
+    mean = np.mean(data, axis=0)
+    data -= mean
+    cov[:] = data.T @ data / (float_n - 1.0)
+
+
+def init(sizes):
+    m, n = sizes["M"], sizes["NN"]
+    rng = np.random.default_rng(42)
+    return {"float_n": float(n), "data": rng.random((n, m)),
+            "cov": np.zeros((m, m))}
+
+
+register(Benchmark(
+    "covariance", covariance, reference, init,
+    sizes={"test": dict(M=12, NN=16),
+           "small": dict(M=200, NN=240),
+           "large": dict(M=700, NN=800)},
+    outputs=("data", "cov")))

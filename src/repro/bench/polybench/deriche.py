@@ -1,0 +1,104 @@
+"""deriche: recursive 2-D edge-detection filter (row/column scans)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+W = repro.symbol("W")
+H = repro.symbol("H")
+
+
+@repro.program
+def deriche(alpha: repro.float64, imgIn: repro.float64[W, H],
+            imgOut: repro.float64[W, H]):
+    k = (1.0 - np.exp(-alpha)) * (1.0 - np.exp(-alpha)) \
+        / (1.0 + 2.0 * alpha * np.exp(-alpha) - np.exp(2.0 * alpha))
+    a1 = k
+    a2 = k * np.exp(-alpha) * (alpha - 1.0)
+    a3 = k * np.exp(-alpha) * (alpha + 1.0)
+    a4 = -k * np.exp(-2.0 * alpha)
+    b1 = 2.0 ** (-alpha)
+    b2 = -np.exp(-2.0 * alpha)
+
+    y1 = np.zeros((W, H))
+    y2 = np.zeros((W, H))
+
+    # horizontal forward pass
+    y1[:, 0] = a1 * imgIn[:, 0]
+    y1[:, 1] = a1 * imgIn[:, 1] + a2 * imgIn[:, 0] + b1 * y1[:, 0]
+    for j in range(2, H):
+        y1[:, j] = a1 * imgIn[:, j] + a2 * imgIn[:, j - 1] \
+            + b1 * y1[:, j - 1] + b2 * y1[:, j - 2]
+    # horizontal backward pass
+    y2[:, H - 1] = 0.0
+    y2[:, H - 2] = a3 * imgIn[:, H - 1]
+    for j in range(H - 3, -1, -1):
+        y2[:, j] = a3 * imgIn[:, j + 1] + a4 * imgIn[:, j + 2] \
+            + b1 * y2[:, j + 1] + b2 * y2[:, j + 2]
+    imgOut[:] = y1 + y2
+
+    # vertical forward pass
+    y1[0, :] = a1 * imgOut[0, :]
+    y1[1, :] = a1 * imgOut[1, :] + a2 * imgOut[0, :] + b1 * y1[0, :]
+    for i in range(2, W):
+        y1[i, :] = a1 * imgOut[i, :] + a2 * imgOut[i - 1, :] \
+            + b1 * y1[i - 1, :] + b2 * y1[i - 2, :]
+    # vertical backward pass
+    y2[W - 1, :] = 0.0
+    y2[W - 2, :] = a3 * imgOut[W - 1, :]
+    for i in range(W - 3, -1, -1):
+        y2[i, :] = a3 * imgOut[i + 1, :] + a4 * imgOut[i + 2, :] \
+            + b1 * y2[i + 1, :] + b2 * y2[i + 2, :]
+    imgOut[:] = y1 + y2
+
+
+def reference(alpha, imgIn, imgOut):
+    w, h = imgIn.shape
+    k = (1.0 - np.exp(-alpha)) ** 2 \
+        / (1.0 + 2.0 * alpha * np.exp(-alpha) - np.exp(2.0 * alpha))
+    a1 = k
+    a2 = k * np.exp(-alpha) * (alpha - 1.0)
+    a3 = k * np.exp(-alpha) * (alpha + 1.0)
+    a4 = -k * np.exp(-2.0 * alpha)
+    b1 = 2.0 ** (-alpha)
+    b2 = -np.exp(-2.0 * alpha)
+    y1 = np.zeros((w, h))
+    y2 = np.zeros((w, h))
+    y1[:, 0] = a1 * imgIn[:, 0]
+    y1[:, 1] = a1 * imgIn[:, 1] + a2 * imgIn[:, 0] + b1 * y1[:, 0]
+    for j in range(2, h):
+        y1[:, j] = a1 * imgIn[:, j] + a2 * imgIn[:, j - 1] \
+            + b1 * y1[:, j - 1] + b2 * y1[:, j - 2]
+    y2[:, h - 1] = 0.0
+    y2[:, h - 2] = a3 * imgIn[:, h - 1]
+    for j in range(h - 3, -1, -1):
+        y2[:, j] = a3 * imgIn[:, j + 1] + a4 * imgIn[:, j + 2] \
+            + b1 * y2[:, j + 1] + b2 * y2[:, j + 2]
+    imgOut[:] = y1 + y2
+    y1[0, :] = a1 * imgOut[0, :]
+    y1[1, :] = a1 * imgOut[1, :] + a2 * imgOut[0, :] + b1 * y1[0, :]
+    for i in range(2, w):
+        y1[i, :] = a1 * imgOut[i, :] + a2 * imgOut[i - 1, :] \
+            + b1 * y1[i - 1, :] + b2 * y1[i - 2, :]
+    y2[w - 1, :] = 0.0
+    y2[w - 2, :] = a3 * imgOut[w - 1, :]
+    for i in range(w - 3, -1, -1):
+        y2[i, :] = a3 * imgOut[i + 1, :] + a4 * imgOut[i + 2, :] \
+            + b1 * y2[i + 1, :] + b2 * y2[i + 2, :]
+    imgOut[:] = y1 + y2
+
+
+def init(sizes):
+    w, h = sizes["W"], sizes["H"]
+    rng = np.random.default_rng(42)
+    return {"alpha": 0.25, "imgIn": rng.random((w, h)),
+            "imgOut": np.zeros((w, h))}
+
+
+register(Benchmark(
+    "deriche", deriche, reference, init,
+    sizes={"test": dict(W=14, H=12),
+           "small": dict(W=400, H=300),
+           "large": dict(W=1600, H=1200)},
+    outputs=("imgOut",), gpu=False, fpga=False))

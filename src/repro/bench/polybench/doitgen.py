@@ -1,0 +1,37 @@
+"""doitgen: multiresolution analysis kernel (batched vector-matrix)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+NR = repro.symbol("NR")
+NQ = repro.symbol("NQ")
+NP = repro.symbol("NP")
+
+
+@repro.program
+def doitgen(A: repro.float64[NR, NQ, NP], C4: repro.float64[NP, NP]):
+    for r in range(NR):
+        for q in range(NQ):
+            A[r, q, :] = A[r, q, :] @ C4
+
+
+def reference(A, C4):
+    for r in range(A.shape[0]):
+        for q in range(A.shape[1]):
+            A[r, q, :] = A[r, q, :] @ C4
+
+
+def init(sizes):
+    nr, nq, np_ = sizes["NR"], sizes["NQ"], sizes["NP"]
+    rng = np.random.default_rng(42)
+    return {"A": rng.random((nr, nq, np_)), "C4": rng.random((np_, np_))}
+
+
+register(Benchmark(
+    "doitgen", doitgen, reference, init,
+    sizes={"test": dict(NR=4, NQ=5, NP=12),
+           "small": dict(NR=30, NQ=40, NP=128),
+           "large": dict(NR=64, NQ=64, NP=256)},
+    outputs=("A",)))

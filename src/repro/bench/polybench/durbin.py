@@ -1,0 +1,46 @@
+"""durbin: Toeplitz system solver (Levinson-Durbin recursion)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def durbin(r: repro.float64[N], y: repro.float64[N]):
+    y[0] = -r[0]
+    beta = 1.0
+    alpha = -r[0]
+    for k in range(1, N):
+        beta *= 1.0 - alpha * alpha
+        alpha = -(r[k] + np.flip(r[:k]) @ y[:k]) / beta
+        y[:k] += alpha * np.flip(y[:k])
+        y[k] = alpha
+
+
+def reference(r, y):
+    n = r.shape[0]
+    y[0] = -r[0]
+    beta = 1.0
+    alpha = -r[0]
+    for k in range(1, n):
+        beta *= 1.0 - alpha * alpha
+        alpha = -(r[k] + np.flip(r[:k]) @ y[:k]) / beta
+        y[:k] += alpha * np.flip(y[:k])
+        y[k] = alpha
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"r": rng.random(n) * 0.5, "y": np.zeros(n)}
+
+
+register(Benchmark(
+    "durbin", durbin, reference, init,
+    sizes={"test": dict(N=14),
+           "small": dict(N=500),
+           "large": dict(N=2000)},
+    outputs=("y",), gpu=False, fpga=False))

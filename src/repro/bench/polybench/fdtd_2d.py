@@ -1,0 +1,45 @@
+"""fdtd_2d: 2-D finite-difference time-domain electromagnetic kernel."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+TMAX = repro.symbol("TMAX")
+NX = repro.symbol("NX")
+NY = repro.symbol("NY")
+
+
+@repro.program
+def fdtd_2d(ex: repro.float64[NX, NY], ey: repro.float64[NX, NY],
+            hz: repro.float64[NX, NY], _fict_: repro.float64[TMAX]):
+    for t in range(TMAX):
+        ey[0, :] = _fict_[t]
+        ey[1:, :] = ey[1:, :] - 0.5 * (hz[1:, :] - hz[:-1, :])
+        ex[:, 1:] = ex[:, 1:] - 0.5 * (hz[:, 1:] - hz[:, :-1])
+        hz[:-1, :-1] = hz[:-1, :-1] - 0.7 * (ex[:-1, 1:] - ex[:-1, :-1]
+                                             + ey[1:, :-1] - ey[:-1, :-1])
+
+
+def reference(ex, ey, hz, _fict_):
+    for t in range(_fict_.shape[0]):
+        ey[0, :] = _fict_[t]
+        ey[1:, :] = ey[1:, :] - 0.5 * (hz[1:, :] - hz[:-1, :])
+        ex[:, 1:] = ex[:, 1:] - 0.5 * (hz[:, 1:] - hz[:, :-1])
+        hz[:-1, :-1] = hz[:-1, :-1] - 0.7 * (ex[:-1, 1:] - ex[:-1, :-1]
+                                             + ey[1:, :-1] - ey[:-1, :-1])
+
+
+def init(sizes):
+    nx, ny, tmax = sizes["NX"], sizes["NY"], sizes["TMAX"]
+    rng = np.random.default_rng(42)
+    return {"ex": rng.random((nx, ny)), "ey": rng.random((nx, ny)),
+            "hz": rng.random((nx, ny)), "_fict_": rng.random(tmax)}
+
+
+register(Benchmark(
+    "fdtd_2d", fdtd_2d, reference, init,
+    sizes={"test": dict(NX=14, NY=16, TMAX=5),
+           "small": dict(NX=200, NY=240, TMAX=100),
+           "large": dict(NX=1000, NY=1200, TMAX=500)},
+    outputs=("ex", "ey", "hz")))

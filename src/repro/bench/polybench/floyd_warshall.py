@@ -1,0 +1,33 @@
+"""floyd_warshall: all-pairs shortest paths via broadcasting minimum."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def floyd_warshall(path: repro.float64[N, N]):
+    for k in range(N):
+        path[:] = np.minimum(path, path[:, k:k + 1] + path[k:k + 1, :])
+
+
+def reference(path):
+    for k in range(path.shape[0]):
+        path[:] = np.minimum(path, path[:, k:k + 1] + path[k:k + 1, :])
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"path": rng.integers(1, 100, size=(n, n)).astype(np.float64)}
+
+
+register(Benchmark(
+    "floyd_warshall", floyd_warshall, reference, init,
+    sizes={"test": dict(N=16),
+           "small": dict(N=200),
+           "large": dict(N=700)},
+    outputs=("path",)))

@@ -1,0 +1,35 @@
+"""gemm: C = alpha*A@B + beta*C, written with Python's @ operator (§3.4)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+NI = repro.symbol("NI")
+NJ = repro.symbol("NJ")
+NK = repro.symbol("NK")
+
+
+@repro.program
+def gemm(alpha: repro.float64, beta: repro.float64, C: repro.float64[NI, NJ],
+         A: repro.float64[NI, NK], B: repro.float64[NK, NJ]):
+    C[:] = alpha * A @ B + beta * C
+
+
+def reference(alpha, beta, C, A, B):
+    C[:] = alpha * A @ B + beta * C
+
+
+def init(sizes):
+    ni, nj, nk = sizes["NI"], sizes["NJ"], sizes["NK"]
+    rng = np.random.default_rng(42)
+    return {"alpha": 1.5, "beta": 1.2, "C": rng.random((ni, nj)),
+            "A": rng.random((ni, nk)), "B": rng.random((nk, nj))}
+
+
+register(Benchmark(
+    "gemm", gemm, reference, init,
+    sizes={"test": dict(NI=12, NJ=14, NK=10),
+           "small": dict(NI=200, NJ=220, NK=240),
+           "large": dict(NI=800, NJ=900, NK=1000)},
+    outputs=("C",)))

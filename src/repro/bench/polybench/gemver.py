@@ -1,0 +1,41 @@
+"""gemver: rank-2 update plus two matrix-vector products."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def gemver(alpha: repro.float64, beta: repro.float64, A: repro.float64[N, N],
+           u1: repro.float64[N], v1: repro.float64[N], u2: repro.float64[N],
+           v2: repro.float64[N], w: repro.float64[N], x: repro.float64[N],
+           y: repro.float64[N], z: repro.float64[N]):
+    A += np.outer(u1, v1) + np.outer(u2, v2)
+    x += beta * (y @ A) + z
+    w += alpha * (A @ x)
+
+
+def reference(alpha, beta, A, u1, v1, u2, v2, w, x, y, z):
+    A += np.outer(u1, v1) + np.outer(u2, v2)
+    x += beta * (y @ A) + z
+    w += alpha * (A @ x)
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"alpha": 1.5, "beta": 1.2, "A": rng.random((n, n)),
+            "u1": rng.random(n), "v1": rng.random(n), "u2": rng.random(n),
+            "v2": rng.random(n), "w": np.zeros(n), "x": rng.random(n),
+            "y": rng.random(n), "z": rng.random(n)}
+
+
+register(Benchmark(
+    "gemver", gemver, reference, init,
+    sizes={"test": dict(N=16),
+           "small": dict(N=700),
+           "large": dict(N=2800)},
+    outputs=("A", "x", "w")))

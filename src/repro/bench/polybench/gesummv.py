@@ -1,0 +1,34 @@
+"""gesummv: y = alpha*A@x + beta*B@x."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def gesummv(alpha: repro.float64, beta: repro.float64,
+            A: repro.float64[N, N], B: repro.float64[N, N],
+            x: repro.float64[N], y: repro.float64[N]):
+    y[:] = alpha * A @ x + beta * B @ x
+
+
+def reference(alpha, beta, A, B, x, y):
+    y[:] = alpha * A @ x + beta * B @ x
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"alpha": 1.5, "beta": 1.2, "A": rng.random((n, n)),
+            "B": rng.random((n, n)), "x": rng.random(n), "y": np.zeros(n)}
+
+
+register(Benchmark(
+    "gesummv", gesummv, reference, init,
+    sizes={"test": dict(N=16),
+           "small": dict(N=700),
+           "large": dict(N=2800)},
+    outputs=("y",)))

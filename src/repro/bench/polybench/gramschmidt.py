@@ -1,0 +1,45 @@
+"""gramschmidt: modified Gram-Schmidt QR decomposition."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+N = repro.symbol("N")
+
+
+@repro.program
+def gramschmidt(A: repro.float64[M, N], R: repro.float64[N, N],
+                Q: repro.float64[M, N]):
+    for k in range(N):
+        R[k, k] = np.sqrt(A[:, k] @ A[:, k])
+        Q[:, k] = A[:, k] / R[k, k]
+        for j in range(k + 1, N):
+            R[k, j] = Q[:, k] @ A[:, j]
+            A[:, j] -= Q[:, k] * R[k, j]
+
+
+def reference(A, R, Q):
+    n = A.shape[1]
+    for k in range(n):
+        R[k, k] = np.sqrt(A[:, k] @ A[:, k])
+        Q[:, k] = A[:, k] / R[k, k]
+        for j in range(k + 1, n):
+            R[k, j] = Q[:, k] @ A[:, j]
+            A[:, j] -= Q[:, k] * R[k, j]
+
+
+def init(sizes):
+    m, n = sizes["M"], sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"A": rng.random((m, n)) + 1.0, "R": np.zeros((n, n)),
+            "Q": np.zeros((m, n))}
+
+
+register(Benchmark(
+    "gramschmidt", gramschmidt, reference, init,
+    sizes={"test": dict(M=14, N=10),
+           "small": dict(M=140, N=100),
+           "large": dict(M=400, N=300)},
+    outputs=("A", "R", "Q"), gpu=False, fpga=False))

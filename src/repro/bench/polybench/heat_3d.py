@@ -1,0 +1,65 @@
+"""heat_3d: 3-D seven-point heat stencil."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def heat_3d(TSTEPS: repro.int32, A: repro.float64[N, N, N],
+            B: repro.float64[N, N, N]):
+    for t in range(1, TSTEPS):
+        B[1:-1, 1:-1, 1:-1] = (
+            0.125 * (A[2:, 1:-1, 1:-1] - 2.0 * A[1:-1, 1:-1, 1:-1]
+                     + A[:-2, 1:-1, 1:-1])
+            + 0.125 * (A[1:-1, 2:, 1:-1] - 2.0 * A[1:-1, 1:-1, 1:-1]
+                       + A[1:-1, :-2, 1:-1])
+            + 0.125 * (A[1:-1, 1:-1, 2:] - 2.0 * A[1:-1, 1:-1, 1:-1]
+                       + A[1:-1, 1:-1, :-2])
+            + A[1:-1, 1:-1, 1:-1])
+        A[1:-1, 1:-1, 1:-1] = (
+            0.125 * (B[2:, 1:-1, 1:-1] - 2.0 * B[1:-1, 1:-1, 1:-1]
+                     + B[:-2, 1:-1, 1:-1])
+            + 0.125 * (B[1:-1, 2:, 1:-1] - 2.0 * B[1:-1, 1:-1, 1:-1]
+                       + B[1:-1, :-2, 1:-1])
+            + 0.125 * (B[1:-1, 1:-1, 2:] - 2.0 * B[1:-1, 1:-1, 1:-1]
+                       + B[1:-1, 1:-1, :-2])
+            + B[1:-1, 1:-1, 1:-1])
+
+
+def reference(TSTEPS, A, B):
+    for t in range(1, TSTEPS):
+        B[1:-1, 1:-1, 1:-1] = (
+            0.125 * (A[2:, 1:-1, 1:-1] - 2.0 * A[1:-1, 1:-1, 1:-1]
+                     + A[:-2, 1:-1, 1:-1])
+            + 0.125 * (A[1:-1, 2:, 1:-1] - 2.0 * A[1:-1, 1:-1, 1:-1]
+                       + A[1:-1, :-2, 1:-1])
+            + 0.125 * (A[1:-1, 1:-1, 2:] - 2.0 * A[1:-1, 1:-1, 1:-1]
+                       + A[1:-1, 1:-1, :-2])
+            + A[1:-1, 1:-1, 1:-1])
+        A[1:-1, 1:-1, 1:-1] = (
+            0.125 * (B[2:, 1:-1, 1:-1] - 2.0 * B[1:-1, 1:-1, 1:-1]
+                     + B[:-2, 1:-1, 1:-1])
+            + 0.125 * (B[1:-1, 2:, 1:-1] - 2.0 * B[1:-1, 1:-1, 1:-1]
+                       + B[1:-1, :-2, 1:-1])
+            + 0.125 * (B[1:-1, 1:-1, 2:] - 2.0 * B[1:-1, 1:-1, 1:-1]
+                       + B[1:-1, 1:-1, :-2])
+            + B[1:-1, 1:-1, 1:-1])
+
+
+def init(sizes):
+    n, t = sizes["N"], sizes["TSTEPS"]
+    rng = np.random.default_rng(42)
+    return {"TSTEPS": t, "A": rng.random((n, n, n)),
+            "B": rng.random((n, n, n))}
+
+
+register(Benchmark(
+    "heat_3d", heat_3d, reference, init,
+    sizes={"test": dict(N=10, TSTEPS=4),
+           "small": dict(N=40, TSTEPS=50),
+           "large": dict(N=120, TSTEPS=200)},
+    outputs=("A", "B")))

@@ -1,0 +1,35 @@
+"""jacobi_1d: 1-D three-point stencil time loop (the paper's §2.2 example)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def jacobi_1d(TSTEPS: repro.int32, A: repro.float64[N], B: repro.float64[N]):
+    for t in range(1, TSTEPS):
+        B[1:-1] = 0.33333 * (A[:-2] + A[1:-1] + A[2:])
+        A[1:-1] = 0.33333 * (B[:-2] + B[1:-1] + B[2:])
+
+
+def reference(TSTEPS, A, B):
+    for t in range(1, TSTEPS):
+        B[1:-1] = 0.33333 * (A[:-2] + A[1:-1] + A[2:])
+        A[1:-1] = 0.33333 * (B[:-2] + B[1:-1] + B[2:])
+
+
+def init(sizes):
+    n, t = sizes["N"], sizes["TSTEPS"]
+    rng = np.random.default_rng(42)
+    return {"TSTEPS": t, "A": rng.random(n), "B": rng.random(n)}
+
+
+register(Benchmark(
+    "jacobi_1d", jacobi_1d, reference, init,
+    sizes={"test": dict(N=40, TSTEPS=8),
+           "small": dict(N=20000, TSTEPS=200),
+           "large": dict(N=120000, TSTEPS=1000)},
+    outputs=("A", "B")))

@@ -1,0 +1,40 @@
+"""jacobi_2d: 2-D five-point stencil time loop (§4.3 example)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def jacobi_2d(TSTEPS: repro.int32, A: repro.float64[N, N],
+              B: repro.float64[N, N]):
+    for t in range(1, TSTEPS):
+        B[1:-1, 1:-1] = 0.2 * (A[1:-1, 1:-1] + A[1:-1, :-2] + A[1:-1, 2:]
+                               + A[2:, 1:-1] + A[:-2, 1:-1])
+        A[1:-1, 1:-1] = 0.2 * (B[1:-1, 1:-1] + B[1:-1, :-2] + B[1:-1, 2:]
+                               + B[2:, 1:-1] + B[:-2, 1:-1])
+
+
+def reference(TSTEPS, A, B):
+    for t in range(1, TSTEPS):
+        B[1:-1, 1:-1] = 0.2 * (A[1:-1, 1:-1] + A[1:-1, :-2] + A[1:-1, 2:]
+                               + A[2:, 1:-1] + A[:-2, 1:-1])
+        A[1:-1, 1:-1] = 0.2 * (B[1:-1, 1:-1] + B[1:-1, :-2] + B[1:-1, 2:]
+                               + B[2:, 1:-1] + B[:-2, 1:-1])
+
+
+def init(sizes):
+    n, t = sizes["N"], sizes["TSTEPS"]
+    rng = np.random.default_rng(42)
+    return {"TSTEPS": t, "A": rng.random((n, n)), "B": rng.random((n, n))}
+
+
+register(Benchmark(
+    "jacobi_2d", jacobi_2d, reference, init,
+    sizes={"test": dict(N=20, TSTEPS=6),
+           "small": dict(N=300, TSTEPS=100),
+           "large": dict(N=1300, TSTEPS=400)},
+    outputs=("A", "B")))

@@ -1,0 +1,38 @@
+"""2mm: D = alpha*A@B@C + beta*D (two chained matrix products)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+NI = repro.symbol("NI")
+NJ = repro.symbol("NJ")
+NK = repro.symbol("NK")
+NL = repro.symbol("NL")
+
+
+@repro.program
+def k2mm(alpha: repro.float64, beta: repro.float64,
+         A: repro.float64[NI, NK], B: repro.float64[NK, NJ],
+         C: repro.float64[NJ, NL], D: repro.float64[NI, NL]):
+    D[:] = alpha * A @ B @ C + beta * D
+
+
+def reference(alpha, beta, A, B, C, D):
+    D[:] = alpha * A @ B @ C + beta * D
+
+
+def init(sizes):
+    ni, nj, nk, nl = sizes["NI"], sizes["NJ"], sizes["NK"], sizes["NL"]
+    rng = np.random.default_rng(42)
+    return {"alpha": 1.5, "beta": 1.2, "A": rng.random((ni, nk)),
+            "B": rng.random((nk, nj)), "C": rng.random((nj, nl)),
+            "D": rng.random((ni, nl))}
+
+
+register(Benchmark(
+    "k2mm", k2mm, reference, init,
+    sizes={"test": dict(NI=10, NJ=12, NK=14, NL=16),
+           "small": dict(NI=180, NJ=190, NK=210, NL=220),
+           "large": dict(NI=700, NJ=750, NK=800, NL=850)},
+    outputs=("D",)))

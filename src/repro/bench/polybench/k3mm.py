@@ -1,0 +1,40 @@
+"""3mm: G = (A@B) @ (C@D) (three matrix products)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+NI = repro.symbol("NI")
+NJ = repro.symbol("NJ")
+NK = repro.symbol("NK")
+NL = repro.symbol("NL")
+NM = repro.symbol("NM")
+
+
+@repro.program
+def k3mm(A: repro.float64[NI, NK], B: repro.float64[NK, NJ],
+         C: repro.float64[NJ, NM], D: repro.float64[NM, NL],
+         G: repro.float64[NI, NL]):
+    G[:] = A @ B @ (C @ D)
+
+
+def reference(A, B, C, D, G):
+    G[:] = A @ B @ (C @ D)
+
+
+def init(sizes):
+    ni, nj, nk, nl, nm = (sizes["NI"], sizes["NJ"], sizes["NK"], sizes["NL"],
+                          sizes["NM"])
+    rng = np.random.default_rng(42)
+    return {"A": rng.random((ni, nk)), "B": rng.random((nk, nj)),
+            "C": rng.random((nj, nm)), "D": rng.random((nm, nl)),
+            "G": np.zeros((ni, nl))}
+
+
+register(Benchmark(
+    "k3mm", k3mm, reference, init,
+    sizes={"test": dict(NI=8, NJ=10, NK=12, NL=14, NM=16),
+           "small": dict(NI=180, NJ=190, NK=200, NL=210, NM=220),
+           "large": dict(NI=600, NJ=650, NK=700, NL=750, NM=800)},
+    outputs=("G",)))

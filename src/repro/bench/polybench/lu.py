@@ -1,0 +1,43 @@
+"""lu: LU decomposition without pivoting."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def lu(A: repro.float64[N, N]):
+    for i in range(N):
+        for j in range(i):
+            A[i, j] -= A[i, :j] @ A[:j, j]
+            A[i, j] /= A[j, j]
+        for j in range(i, N):
+            A[i, j] -= A[i, :i] @ A[:i, j]
+
+
+def reference(A):
+    n = A.shape[0]
+    for i in range(n):
+        for j in range(i):
+            A[i, j] -= A[i, :j] @ A[:j, j]
+            A[i, j] /= A[j, j]
+        for j in range(i, n):
+            A[i, j] -= A[i, :i] @ A[:i, j]
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    A = rng.random((n, n))
+    return {"A": A @ A.T + n * np.eye(n)}
+
+
+register(Benchmark(
+    "lu", lu, reference, init,
+    sizes={"test": dict(N=10),
+           "small": dict(N=80),
+           "large": dict(N=220)},
+    outputs=("A",), gpu=False, fpga=False))

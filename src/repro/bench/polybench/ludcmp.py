@@ -1,0 +1,53 @@
+"""ludcmp: LU decomposition followed by forward/backward substitution."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def ludcmp(A: repro.float64[N, N], b: repro.float64[N], x: repro.float64[N],
+           y: repro.float64[N]):
+    for i in range(N):
+        for j in range(i):
+            A[i, j] -= A[i, :j] @ A[:j, j]
+            A[i, j] /= A[j, j]
+        for j in range(i, N):
+            A[i, j] -= A[i, :i] @ A[:i, j]
+    for i in range(N):
+        y[i] = b[i] - A[i, :i] @ y[:i]
+    for i in range(N - 1, -1, -1):
+        x[i] = (y[i] - A[i, i + 1:] @ x[i + 1:]) / A[i, i]
+
+
+def reference(A, b, x, y):
+    n = A.shape[0]
+    for i in range(n):
+        for j in range(i):
+            A[i, j] -= A[i, :j] @ A[:j, j]
+            A[i, j] /= A[j, j]
+        for j in range(i, n):
+            A[i, j] -= A[i, :i] @ A[:i, j]
+    for i in range(n):
+        y[i] = b[i] - A[i, :i] @ y[:i]
+    for i in range(n - 1, -1, -1):
+        x[i] = (y[i] - A[i, i + 1:] @ x[i + 1:]) / A[i, i]
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    A = rng.random((n, n))
+    return {"A": A @ A.T + n * np.eye(n), "b": rng.random(n),
+            "x": np.zeros(n), "y": np.zeros(n)}
+
+
+register(Benchmark(
+    "ludcmp", ludcmp, reference, init,
+    sizes={"test": dict(N=10),
+           "small": dict(N=80),
+           "large": dict(N=220)},
+    outputs=("A", "x", "y"), gpu=False, fpga=False))

@@ -1,0 +1,35 @@
+"""mvt: x1 += A @ y_1, x2 += A.T @ y_2."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def mvt(x1: repro.float64[N], x2: repro.float64[N], y_1: repro.float64[N],
+        y_2: repro.float64[N], A: repro.float64[N, N]):
+    x1 += A @ y_1
+    x2 += y_2 @ A
+
+
+def reference(x1, x2, y_1, y_2, A):
+    x1 += A @ y_1
+    x2 += y_2 @ A
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"x1": rng.random(n), "x2": rng.random(n), "y_1": rng.random(n),
+            "y_2": rng.random(n), "A": rng.random((n, n))}
+
+
+register(Benchmark(
+    "mvt", mvt, reference, init,
+    sizes={"test": dict(N=16),
+           "small": dict(N=800),
+           "large": dict(N=3000)},
+    outputs=("x1", "x2")))

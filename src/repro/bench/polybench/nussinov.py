@@ -1,0 +1,60 @@
+"""nussinov: RNA secondary-structure dynamic program (control-flow heavy;
+the paper notes C compilers handle this class best)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def nussinov(seq: repro.int64[N], table: repro.int64[N, N]):
+    for i in range(N - 1, -1, -1):
+        for j in range(i + 1, N):
+            if j - 1 >= 0:
+                table[i, j] = max(table[i, j], table[i, j - 1])
+            if i + 1 < N:
+                table[i, j] = max(table[i, j], table[i + 1, j])
+            if j - 1 >= 0 and i + 1 < N:
+                if i < j - 1:
+                    table[i, j] = max(table[i, j], table[i + 1, j - 1]
+                                      + (1 if seq[i] + seq[j] == 3 else 0))
+                else:
+                    table[i, j] = max(table[i, j], table[i + 1, j - 1])
+            for k in range(i + 1, j):
+                table[i, j] = max(table[i, j], table[i, k] + table[k + 1, j])
+
+
+def reference(seq, table):
+    n = seq.shape[0]
+    for i in range(n - 1, -1, -1):
+        for j in range(i + 1, n):
+            if j - 1 >= 0:
+                table[i, j] = max(table[i, j], table[i, j - 1])
+            if i + 1 < n:
+                table[i, j] = max(table[i, j], table[i + 1, j])
+            if j - 1 >= 0 and i + 1 < n:
+                if i < j - 1:
+                    table[i, j] = max(table[i, j], table[i + 1, j - 1]
+                                      + (1 if seq[i] + seq[j] == 3 else 0))
+                else:
+                    table[i, j] = max(table[i, j], table[i + 1, j - 1])
+            for k in range(i + 1, j):
+                table[i, j] = max(table[i, j], table[i, k] + table[k + 1, j])
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"seq": rng.integers(0, 4, size=n).astype(np.int64),
+            "table": np.zeros((n, n), dtype=np.int64)}
+
+
+register(Benchmark(
+    "nussinov", nussinov, reference, init,
+    sizes={"test": dict(N=12),
+           "small": dict(N=60),
+           "large": dict(N=180)},
+    outputs=("table",), gpu=False, fpga=False))

@@ -1,0 +1,46 @@
+"""seidel_2d: Gauss-Seidel sweep (sequential in-place stencil)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def seidel_2d(TSTEPS: repro.int32, A: repro.float64[N, N]):
+    for t in range(TSTEPS):
+        for i in range(1, N - 1):
+            A[i, 1:-1] += (A[i - 1, :-2] + A[i - 1, 1:-1] + A[i - 1, 2:]
+                           + A[i, 2:] + A[i + 1, :-2] + A[i + 1, 1:-1]
+                           + A[i + 1, 2:])
+            for j in range(1, N - 1):
+                A[i, j] += A[i, j - 1]
+                A[i, j] /= 9.0
+
+
+def reference(TSTEPS, A):
+    n = A.shape[0]
+    for t in range(TSTEPS):
+        for i in range(1, n - 1):
+            A[i, 1:-1] += (A[i - 1, :-2] + A[i - 1, 1:-1] + A[i - 1, 2:]
+                           + A[i, 2:] + A[i + 1, :-2] + A[i + 1, 1:-1]
+                           + A[i + 1, 2:])
+            for j in range(1, n - 1):
+                A[i, j] += A[i, j - 1]
+                A[i, j] /= 9.0
+
+
+def init(sizes):
+    n, t = sizes["N"], sizes["TSTEPS"]
+    rng = np.random.default_rng(42)
+    return {"TSTEPS": t, "A": rng.random((n, n))}
+
+
+register(Benchmark(
+    "seidel_2d", seidel_2d, reference, init,
+    sizes={"test": dict(N=12, TSTEPS=3),
+           "small": dict(N=120, TSTEPS=20),
+           "large": dict(N=400, TSTEPS=100)},
+    outputs=("A",), gpu=False, fpga=False))

@@ -1,0 +1,46 @@
+"""symm: symmetric matrix-matrix multiplication."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+N = repro.symbol("N")
+
+
+@repro.program
+def symm(alpha: repro.float64, beta: repro.float64, C: repro.float64[M, N],
+         A: repro.float64[M, M], B: repro.float64[M, N],
+         temp2: repro.float64[N]):
+    C *= beta
+    for i in range(M):
+        for j in range(N):
+            C[:i, j] += alpha * B[i, j] * A[i, :i]
+            temp2[j] = B[:i, j] @ A[i, :i]
+        C[i, :] += alpha * B[i, :] * A[i, i] + alpha * temp2
+
+
+def reference(alpha, beta, C, A, B, temp2):
+    C *= beta
+    for i in range(C.shape[0]):
+        for j in range(C.shape[1]):
+            C[:i, j] += alpha * B[i, j] * A[i, :i]
+            temp2[j] = B[:i, j] @ A[i, :i]
+        C[i, :] += alpha * B[i, :] * A[i, i] + alpha * temp2
+
+
+def init(sizes):
+    m, n = sizes["M"], sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"alpha": 1.5, "beta": 1.2, "C": rng.random((m, n)),
+            "A": rng.random((m, m)), "B": rng.random((m, n)),
+            "temp2": np.zeros(n)}
+
+
+register(Benchmark(
+    "symm", symm, reference, init,
+    sizes={"test": dict(M=10, N=12),
+           "small": dict(M=80, N=90),
+           "large": dict(M=200, N=240)},
+    outputs=("C",), gpu=False, fpga=False))

@@ -1,0 +1,42 @@
+"""syr2k: symmetric rank-2k update (triangular part)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+N = repro.symbol("N")
+
+
+@repro.program
+def syr2k(alpha: repro.float64, beta: repro.float64, C: repro.float64[N, N],
+          A: repro.float64[N, M], B: repro.float64[N, M]):
+    for i in range(N):
+        C[i, :i + 1] *= beta
+        for k in range(M):
+            C[i, :i + 1] += A[:i + 1, k] * alpha * B[i, k] \
+                + B[:i + 1, k] * alpha * A[i, k]
+
+
+def reference(alpha, beta, C, A, B):
+    for i in range(C.shape[0]):
+        C[i, :i + 1] *= beta
+        for k in range(A.shape[1]):
+            C[i, :i + 1] += A[:i + 1, k] * alpha * B[i, k] \
+                + B[:i + 1, k] * alpha * A[i, k]
+
+
+def init(sizes):
+    n, m = sizes["N"], sizes["M"]
+    rng = np.random.default_rng(42)
+    return {"alpha": 1.5, "beta": 1.2, "C": rng.random((n, n)),
+            "A": rng.random((n, m)), "B": rng.random((n, m))}
+
+
+register(Benchmark(
+    "syr2k", syr2k, reference, init,
+    sizes={"test": dict(N=12, M=10),
+           "small": dict(N=120, M=100),
+           "large": dict(N=350, M=300)},
+    outputs=("C",), gpu=False, fpga=False))

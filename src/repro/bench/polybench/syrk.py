@@ -1,0 +1,40 @@
+"""syrk: symmetric rank-k update (triangular part)."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+N = repro.symbol("N")
+
+
+@repro.program
+def syrk(alpha: repro.float64, beta: repro.float64, C: repro.float64[N, N],
+         A: repro.float64[N, M]):
+    for i in range(N):
+        C[i, :i + 1] *= beta
+        for k in range(M):
+            C[i, :i + 1] += alpha * A[i, k] * A[:i + 1, k]
+
+
+def reference(alpha, beta, C, A):
+    for i in range(C.shape[0]):
+        C[i, :i + 1] *= beta
+        for k in range(A.shape[1]):
+            C[i, :i + 1] += alpha * A[i, k] * A[:i + 1, k]
+
+
+def init(sizes):
+    n, m = sizes["N"], sizes["M"]
+    rng = np.random.default_rng(42)
+    return {"alpha": 1.5, "beta": 1.2, "C": rng.random((n, n)),
+            "A": rng.random((n, m))}
+
+
+register(Benchmark(
+    "syrk", syrk, reference, init,
+    sizes={"test": dict(N=12, M=10),
+           "small": dict(N=150, M=120),
+           "large": dict(N=400, M=350)},
+    outputs=("C",), gpu=False, fpga=False))

@@ -1,0 +1,34 @@
+"""trisolv: forward substitution for a lower-triangular system."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+N = repro.symbol("N")
+
+
+@repro.program
+def trisolv(L: repro.float64[N, N], x: repro.float64[N], b: repro.float64[N]):
+    for i in range(N):
+        x[i] = (b[i] - L[i, :i] @ x[:i]) / L[i, i]
+
+
+def reference(L, x, b):
+    for i in range(x.shape[0]):
+        x[i] = (b[i] - L[i, :i] @ x[:i]) / L[i, i]
+
+
+def init(sizes):
+    n = sizes["N"]
+    rng = np.random.default_rng(42)
+    L = np.tril(rng.random((n, n)) + 1.0)
+    return {"L": L, "x": np.zeros(n), "b": rng.random(n)}
+
+
+register(Benchmark(
+    "trisolv", trisolv, reference, init,
+    sizes={"test": dict(N=16),
+           "small": dict(N=400),
+           "large": dict(N=2000)},
+    outputs=("x",), gpu=False, fpga=False))

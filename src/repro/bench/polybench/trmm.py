@@ -1,0 +1,39 @@
+"""trmm: triangular matrix multiplication."""
+
+import numpy as np
+
+import repro
+from ..registry import Benchmark, register
+
+M = repro.symbol("M")
+N = repro.symbol("N")
+
+
+@repro.program
+def trmm(alpha: repro.float64, A: repro.float64[M, M], B: repro.float64[M, N]):
+    for i in range(M):
+        for j in range(N):
+            B[i, j] = B[i, j] + A[i + 1:, i] @ B[i + 1:, j]
+    B *= alpha
+
+
+def reference(alpha, A, B):
+    for i in range(B.shape[0]):
+        for j in range(B.shape[1]):
+            B[i, j] += A[i + 1:, i] @ B[i + 1:, j]
+    B *= alpha
+
+
+def init(sizes):
+    m, n = sizes["M"], sizes["N"]
+    rng = np.random.default_rng(42)
+    return {"alpha": 1.5, "A": np.tril(rng.random((m, m)), -1) + np.eye(m),
+            "B": rng.random((m, n))}
+
+
+register(Benchmark(
+    "trmm", trmm, reference, init,
+    sizes={"test": dict(M=10, N=12),
+           "small": dict(M=150, N=180),
+           "large": dict(M=500, N=600)},
+    outputs=("B",), gpu=False, fpga=False))

@@ -1,0 +1,113 @@
+"""Runtime helpers imported by generated modules.
+
+Generated code turns symbolic memlets into NumPy views at runtime; these
+helpers build slices from affine index maps and align view axes with the
+map-parameter space so fused scopes evaluate as single vectorized
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["make_slice", "align_axes", "dim_length", "Min", "Max", "reduce_ufunc"]
+
+
+def Min(*args):
+    return min(args)
+
+
+def Max(*args):
+    return max(args)
+
+
+def make_slice(a: int, c: int, lo: int, hi: int, st: int) -> slice:
+    """Slice for the affine index ``a*p + c`` as ``p`` ranges over
+    ``lo..hi`` (inclusive) with step ``st``."""
+    start = a * lo + c
+    stop = a * hi + c
+    step = a * st
+    if step > 0:
+        return slice(start, stop + 1, step)
+    return slice(start, stop - 1 if stop > 0 else None, step)
+
+
+def dim_length(lo: int, hi: int, st: int) -> int:
+    """Number of iterations of an inclusive symbolic range."""
+    return (hi - lo) // st + 1
+
+
+def align_axes(view: np.ndarray, axes: Sequence[int], k: int) -> np.ndarray:
+    """Align *view*, whose dimensions correspond to map parameters ``axes``
+    (in that order), to the canonical k-axis parameter space.
+
+    Missing parameters become broadcast (size-1) axes.
+    """
+    axes = list(axes)
+    if len(axes) != view.ndim:
+        raise ValueError(
+            f"axis mapping {axes} does not match view rank {view.ndim}")
+    order = sorted(range(len(axes)), key=lambda i: axes[i])
+    if order != list(range(len(axes))):
+        view = view.transpose(order)
+        axes = [axes[i] for i in order]
+    indexer: list = []
+    pos = 0
+    for axis in range(k):
+        if pos < len(axes) and axes[pos] == axis:
+            indexer.append(slice(None))
+            pos += 1
+        else:
+            indexer.append(None)
+    return view[tuple(indexer)]
+
+
+def reduce_ufunc(wcr: str) -> np.ufunc:
+    from ..runtime.wcr import WCR_UFUNC
+
+    return WCR_UFUNC[wcr]
+
+
+def store_aligned(dst: np.ndarray, idx: Tuple, value: np.ndarray,
+                  axes: Sequence[int], shape: Tuple[int, ...]) -> None:
+    """Store a canonical-param-space value into ``dst[idx]`` whose
+    non-constant output dims correspond to parameters *axes* in order."""
+    value = np.broadcast_to(value, shape)
+    perm = list(axes)
+    if perm != sorted(perm):
+        # canonical -> output order
+        value = value.transpose(_inverse_to(perm))
+    elif value.ndim != len(perm):
+        pass
+    target = dst[idx]
+    if value.shape != target.shape:
+        value = value.reshape(target.shape)
+    dst[idx] = value
+
+
+def _inverse_to(axes: Sequence[int]) -> Sequence[int]:
+    """Permutation taking canonical (sorted) axis order to *axes* order."""
+    sorted_axes = sorted(axes)
+    return [sorted_axes.index(a) for a in axes]
+
+
+def wcr_store(dst: np.ndarray, idx: Tuple, value: np.ndarray, wcr: str,
+              out_axes: Sequence[int], shape: Tuple[int, ...]) -> None:
+    """Reduce a canonical-param-space value over the axes absent from
+    ``out_axes`` and combine into ``dst[idx]`` with the WCR function."""
+    k = len(shape)
+    value = np.broadcast_to(value, shape)
+    missing = tuple(a for a in range(k) if a not in out_axes)
+    ufunc = reduce_ufunc(wcr)
+    reduced = value
+    for axis in sorted(missing, reverse=True):
+        reduced = ufunc.reduce(reduced, axis=axis)
+    if list(out_axes) != sorted(out_axes):
+        reduced = reduced.transpose(_inverse_to(list(out_axes)))
+    target = dst[idx]
+    if hasattr(target, "shape") and hasattr(reduced, "shape") \
+            and reduced.shape != target.shape:
+        reduced = reduced.reshape(target.shape)
+    dst[idx] = ufunc(target, reduced)

@@ -1,0 +1,13 @@
+"""``repro.comm``: the explicit communication namespace (§4.3).
+
+Re-exports :mod:`repro.distributed.comm_api` so annotated programs can write
+``repro.comm.BlockScatter(...)`` exactly as the paper writes
+``dace.comm.BlockScatter(...)``.
+"""
+
+from .distributed.comm_api import (Allreduce, Barrier, Bcast, BlockGather,
+                                   BlockScatter, HaloExchange, Irecv, Isend,
+                                   Waitall, rank, size)
+
+__all__ = ["BlockScatter", "BlockGather", "HaloExchange", "Isend", "Irecv",
+           "Waitall", "Allreduce", "Bcast", "Barrier", "rank", "size"]

@@ -1,0 +1,76 @@
+"""Global configuration for the data-centric toolbox.
+
+A tiny hierarchical key-value store, with context-manager overrides so tests
+and benchmarks can toggle behaviour (e.g. auto-optimization passes or device
+model parameters) without mutating global state permanently.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator
+
+_DEFAULTS: Dict[str, Any] = {
+    # Frontend / optimizer behaviour
+    "optimizer.simplify": True,              # run dataflow coarsening after parse
+    "optimizer.autooptimize": False,         # run -O3 heuristics by default
+    "optimizer.tile_size": 64,               # WCR map tile size (paper §3.1 (3))
+    "optimizer.stack_array_limit": 64,       # elements; below -> "stack" storage
+    # Validation
+    "validate.after_transform": True,
+    # Simulated device parameters (see repro.runtime.perfmodel)
+    "gpu.kernel_launch_us": 6.0,
+    "gpu.bandwidth_gbs": 790.0,              # V100-class HBM2
+    "gpu.pcie_gbs": 12.0,
+    "gpu.atomic_penalty": 12.0,
+    "gpu.flops_gflops": 6100.0,              # FP64 ceiling, V100-class
+    "cpu.bandwidth_gbs": 180.0,              # 2-socket Xeon-class
+    "cpu.flops_gflops": 1300.0,
+    "cpu.mkl_gemm_efficiency": 0.85,
+    # Simulated network (Piz Daint Aries-like; LogGP)
+    "net.latency_us": 1.2,
+    "net.bandwidth_gbs": 9.0,
+    "net.per_message_overhead_us": 0.6,
+}
+
+_config: Dict[str, Any] = dict(_DEFAULTS)
+
+
+class Config:
+    """Namespace wrapper around the process-wide configuration."""
+
+    @staticmethod
+    def get(key: str) -> Any:
+        try:
+            return _config[key]
+        except KeyError:
+            raise KeyError(f"unknown configuration key {key!r}") from None
+
+    @staticmethod
+    def set(key: str, value: Any) -> None:
+        if key not in _config:
+            raise KeyError(f"unknown configuration key {key!r}")
+        _config[key] = value
+
+    @staticmethod
+    def keys():
+        return _config.keys()
+
+    @staticmethod
+    def reset() -> None:
+        _config.clear()
+        _config.update(_DEFAULTS)
+
+    @staticmethod
+    @contextlib.contextmanager
+    def override(**pairs: Any) -> Iterator[None]:
+        """Temporarily override dotted keys (dots written as ``__``)."""
+        keys = {k.replace("__", "."): v for k, v in pairs.items()}
+        saved = {k: Config.get(k) for k in keys}
+        try:
+            for k, v in keys.items():
+                Config.set(k, v)
+            yield
+        finally:
+            for k, v in saved.items():
+                Config.set(k, v)

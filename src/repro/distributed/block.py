@@ -1,0 +1,66 @@
+"""Block distribution arithmetic (§4.1).
+
+Arrays distribute onto Cartesian process grids in contiguous blocks (the
+paper's default; block-cyclic is available for fine-tuning).  These helpers
+compute per-rank block bounds, local shapes, and assemble/disassemble global
+arrays — shared by the distributed runtime, the PBLAS substitute, and the
+``repro.comm`` explicit API.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..simmpi.grid import ProcessGrid
+
+__all__ = ["block_bounds", "local_block", "scatter_blocks", "gather_blocks",
+           "block_shape"]
+
+
+def block_bounds(extent: int, parts: int, index: int) -> Tuple[int, int]:
+    """Half-open bounds of block *index* when *extent* elements are split
+    into *parts* contiguous blocks (remainder spread over leading blocks)."""
+    base = extent // parts
+    remainder = extent % parts
+    start = index * base + min(index, remainder)
+    stop = start + base + (1 if index < remainder else 0)
+    return start, stop
+
+
+def block_shape(shape: Sequence[int], grid: ProcessGrid,
+                coords: Sequence[int]) -> Tuple[int, ...]:
+    dims = []
+    for axis, extent in enumerate(shape):
+        if axis < grid.ndims:
+            lo, hi = block_bounds(extent, grid.dims[axis], coords[axis])
+            dims.append(hi - lo)
+        else:
+            dims.append(extent)
+    return tuple(dims)
+
+
+def local_block(array: np.ndarray, grid: ProcessGrid, rank: int) -> np.ndarray:
+    """The block of *array* owned by *rank* (view)."""
+    coords = grid.coords(rank)
+    slices: List[slice] = []
+    for axis, extent in enumerate(array.shape):
+        if axis < grid.ndims:
+            lo, hi = block_bounds(extent, grid.dims[axis], coords[axis])
+            slices.append(slice(lo, hi))
+        else:
+            slices.append(slice(None))
+    return array[tuple(slices)]
+
+
+def scatter_blocks(array: np.ndarray, grid: ProcessGrid, rank: int) -> np.ndarray:
+    """Copy of the rank's block (the functional effect of a block scatter)."""
+    return np.copy(local_block(array, grid, rank))
+
+
+def gather_blocks(global_out: np.ndarray, block: np.ndarray,
+                  grid: ProcessGrid, rank: int) -> None:
+    """Write a rank's block back into the global array."""
+    view = local_block(global_out, grid, rank)
+    view[...] = block.reshape(view.shape)

@@ -1,0 +1,182 @@
+"""Explicit communication operations: the ``repro.comm`` namespace (§4.3).
+
+These give power users direct control over partitioning with *pythonic*
+local-view semantics: ``BlockScatter`` returns the calling rank's block,
+``BlockGather`` reassembles (and replicates) the global view, and
+``HaloExchange`` swaps one-deep halos with grid neighbors using nonblocking
+sends/receives over derived vector datatypes (no extraneous copies for the
+strided column halos, mirroring the paper's ``MPI_Type_vector`` usage).
+
+All operations are callable from plain Python under
+:func:`repro.distributed.run_distributed`, and are recognized by the
+``@repro.program`` frontend (registered as replacements), integrating the
+communication into the program's dataflow.
+
+API deviation from the paper: ``BlockScatter``/``BlockGather`` take the
+result shape explicitly (the paper's frontend infers it from the assignment
+target); see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..simmpi.comm import Request, VectorType
+from . import context
+from .block import block_bounds, gather_blocks, scatter_blocks
+
+__all__ = ["BlockScatter", "BlockGather", "HaloExchange", "Isend", "Irecv",
+           "Waitall", "Allreduce", "Bcast", "Barrier", "rank", "size"]
+
+
+def rank() -> int:
+    return context.require().rank
+
+
+def size() -> int:
+    return context.require().size
+
+
+def _layout_grid(ctx, layout: str):
+    from ..simmpi.grid import ProcessGrid
+
+    if layout == "row":
+        return ProcessGrid(ctx.size, ndims=1)
+    return ctx.grid  # "grid": the context's (2-D) grid
+
+
+def BlockScatter(global_array: np.ndarray,
+                 shape: Optional[Sequence[int]] = None,
+                 layout: str = "grid") -> np.ndarray:
+    """Return this rank's block of a block-distributed global array.
+
+    ``layout`` selects the distribution: ``"grid"`` blocks over the 2-D
+    process grid (paper §4.1, matrices); ``"row"`` is the 1-D block
+    distribution used for element-wise operations and vectors;
+    ``"replicate"`` broadcasts the full array.  The root conceptually
+    scatters; the network model charges every rank's clock.
+    """
+    ctx = context.require()
+    arr = np.asarray(global_array)
+    net = ctx.comm._world.net
+    if layout == "replicate":
+        ctx.comm.advance(net.bcast(int(arr.nbytes), ctx.size))
+        return np.copy(arr)
+    grid = _layout_grid(ctx, layout)
+    block = scatter_blocks(arr, grid, ctx.rank)
+    if shape is not None and tuple(block.shape) != tuple(int(s) for s in shape):
+        raise ValueError(
+            f"BlockScatter: rank {ctx.rank} block has shape {block.shape}, "
+            f"expected {tuple(shape)} (choose sizes divisible by the grid "
+            f"{grid.dims})")
+    ctx.comm.advance(net.scatter(int(arr.nbytes), ctx.size))
+    if ctx.rank == 0 and ctx.size > 1:
+        ctx.comm._world.record(int(arr.nbytes))
+    return block
+
+
+def BlockGather(local_block: np.ndarray,
+                shape: Optional[Sequence[int]] = None,
+                layout: str = "grid") -> np.ndarray:
+    """Reassemble the global array from per-rank blocks (replicated on all
+    ranks so the result is usable everywhere; costed as gather+broadcast)."""
+    ctx = context.require()
+    comm = ctx.comm
+    grid = _layout_grid(ctx, layout)
+    local_block = np.ascontiguousarray(local_block)
+    if shape is None:
+        # infer: every dimension scales by the grid extent (uniform blocks)
+        shape = tuple(s * (grid.dims[d] if d < grid.ndims else 1)
+                      for d, s in enumerate(local_block.shape))
+    blocks = comm._exchange(local_block)
+    out = np.empty(tuple(int(s) for s in shape), dtype=local_block.dtype)
+    for other, block in enumerate(blocks):
+        gather_blocks(out, block, grid, other)
+    net = comm._world.net
+    comm._sync_clocks(net.gather(int(out.nbytes), ctx.size)
+                      + net.bcast(int(out.nbytes), ctx.size))
+    if ctx.rank == 0 and ctx.size > 1:
+        comm._world.record(2 * int(out.nbytes))
+    return out
+
+
+def HaloExchange(padded: np.ndarray, halo: int = 1) -> np.ndarray:
+    """Exchange *halo*-deep boundary layers with the four 2-D grid neighbors.
+
+    ``padded`` is the local block with a halo frame; interior is
+    ``padded[halo:-halo, halo:-halo]``.  Row halos are contiguous; column
+    halos use a derived vector datatype.
+    """
+    ctx = context.require()
+    comm, grid = ctx.comm, ctx.grid
+    if grid.ndims != 2:
+        raise ValueError("HaloExchange requires a 2-D process grid")
+    neighbors = grid.neighbors(ctx.rank)
+    rows, cols = padded.shape
+    requests = []
+    # receive into halo frames
+    recv_specs = {
+        "north": (slice(0, halo), slice(halo, cols - halo)),
+        "south": (slice(rows - halo, rows), slice(halo, cols - halo)),
+        "west": (slice(halo, rows - halo), slice(0, halo)),
+        "east": (slice(halo, rows - halo), slice(cols - halo, cols)),
+    }
+    send_specs = {
+        "north": (slice(halo, 2 * halo), slice(halo, cols - halo)),
+        "south": (slice(rows - 2 * halo, rows - halo), slice(halo, cols - halo)),
+        "west": (slice(halo, rows - halo), slice(halo, 2 * halo)),
+        "east": (slice(halo, rows - halo), slice(cols - 2 * halo, cols - halo)),
+    }
+    opposite = {"north": "south", "south": "north", "west": "east",
+                "east": "west"}
+    tags = {"north": 11, "south": 12, "west": 13, "east": 14}
+
+    recv_bufs = {}
+    for side, neighbor in neighbors.items():
+        if neighbor < 0:
+            continue
+        buf = np.empty_like(padded[recv_specs[side]])
+        recv_bufs[side] = buf
+        requests.append(comm.Irecv(buf, neighbor, tag=tags[opposite[side]]))
+    for side, neighbor in neighbors.items():
+        if neighbor < 0:
+            continue
+        # column halos are strided; the simulator's send packs the view
+        # (the real system would use the committed MPI vector datatype)
+        payload = np.ascontiguousarray(padded[send_specs[side]])
+        requests.append(comm.Isend(payload, neighbor, tag=tags[side]))
+    Waitall(requests)
+    for side, buf in recv_bufs.items():
+        padded[recv_specs[side]] = buf
+    return padded
+
+
+def Isend(buf, dest: int, tag: int = 0) -> Request:
+    return context.require().comm.Isend(np.ascontiguousarray(buf), dest, tag)
+
+
+def Irecv(buf, source: int, tag: int = 0) -> Request:
+    return context.require().comm.Irecv(buf, source, tag)
+
+
+def Waitall(requests) -> None:
+    Request.waitall([r for r in requests if r is not None])
+
+
+def Allreduce(value, op: str = "sum"):
+    ctx = context.require()
+    arr = np.atleast_1d(np.asarray(value, dtype=np.float64))
+    out = np.empty_like(arr)
+    ctx.comm.Allreduce(arr, out, op=op)
+    return out[0] if np.isscalar(value) or np.asarray(value).ndim == 0 else out
+
+
+def Bcast(array, root: int = 0):
+    ctx = context.require()
+    return ctx.comm.Bcast(np.asarray(array), root=root)
+
+
+def Barrier() -> None:
+    context.require().comm.Barrier()

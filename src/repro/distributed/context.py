@@ -1,0 +1,51 @@
+"""Thread-local distributed execution context.
+
+SPMD execution runs one interpreter per rank in a thread; the explicit
+``repro.comm`` operations and the distributed library nodes resolve the
+calling rank's communicator and process grid through this context.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..simmpi.comm import Comm
+from ..simmpi.grid import ProcessGrid
+
+__all__ = ["DistContext", "current", "set_current", "require"]
+
+_tls = threading.local()
+
+
+class DistContext:
+    """Per-rank handle: communicator + default process grid."""
+
+    def __init__(self, comm: Comm, grid: Optional[ProcessGrid] = None):
+        self.comm = comm
+        self.grid = grid or ProcessGrid(comm.size)
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+
+def current() -> Optional[DistContext]:
+    return getattr(_tls, "ctx", None)
+
+
+def set_current(ctx: Optional[DistContext]) -> None:
+    _tls.ctx = ctx
+
+
+def require() -> DistContext:
+    ctx = current()
+    if ctx is None:
+        raise RuntimeError(
+            "no distributed context: repro.comm operations must run inside "
+            "a distributed execution (repro.distributed.run_distributed)")
+    return ctx

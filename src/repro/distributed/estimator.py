@@ -1,0 +1,238 @@
+"""Weak-scaling estimator for the distributed evaluation (Fig. 12).
+
+Produces modeled runtimes for DaCe, Dask, and Legate executions of the
+Table 2 kernels at any process count.  The same communication-pattern cost
+functions are built from the LogGP :class:`~repro.simmpi.NetModel` that the
+functional simulator uses, so the estimator is *validated against the
+functional virtual clocks at small rank counts* (see
+tests/test_estimator.py) and extended to Piz-Daint scale (1,296 processes)
+analytically.
+
+Per-framework behaviour follows §4.4's findings:
+
+* **DaCe** — MPI over the Cray-like network, local MKL-grade compute.
+* **Legate** — matches DaCe's single-node time on BLAS-heavy kernels,
+  1.7-15x slower elsewhere; pays per-operation runtime analysis; GASNet
+  transport; efficiency roughly constant after the initial drop.
+* **Dask** — central scheduler (task cost grows with the chunk count), TCP
+  transport, much slower per-task compute; runs half-size problems and
+  still struggles (the paper's out-of-memory regime is reported as NaN
+  above 256 ranks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..bench.distributed_suite import TABLE2, DistributedBenchmark, scaled_sizes
+from ..config import Config
+from ..simmpi.grid import balanced_dims
+from ..simmpi.netmodel import NetModel
+
+__all__ = ["FrameworkModel", "FRAMEWORKS", "estimate", "weak_scaling_series"]
+
+_D = 8  # bytes per float64
+
+
+def _work(bench: DistributedBenchmark, sizes: Dict[str, int]) -> Dict[str, float]:
+    """Total flops and memory traffic (bytes) of one kernel execution."""
+    s = sizes
+    if bench.name in ("atax", "bicg"):
+        flops = 4.0 * s["M"] * s["N"]
+        traffic = 2.0 * s["M"] * s["N"] * _D
+    elif bench.name == "doitgen":
+        flops = 2.0 * s["NR"] * s["NQ"] * s["NP"] * s["NP"]
+        traffic = 2.0 * s["NR"] * s["NQ"] * s["NP"] * _D
+    elif bench.name == "gemm":
+        flops = 2.0 * s["NI"] * s["NJ"] * s["NK"]
+        traffic = (s["NI"] * s["NK"] + s["NK"] * s["NJ"]
+                   + 2.0 * s["NI"] * s["NJ"]) * _D
+    elif bench.name == "gemver":
+        flops = 10.0 * s["N"] * s["N"]
+        traffic = 4.0 * s["N"] * s["N"] * _D
+    elif bench.name == "gesummv":
+        flops = 4.0 * s["N"] * s["N"]
+        traffic = 2.0 * s["N"] * s["N"] * _D
+    elif bench.name == "jacobi_1d":
+        flops = 6.0 * s["T"] * s["N"]
+        traffic = 4.0 * s["T"] * s["N"] * _D
+    elif bench.name == "jacobi_2d":
+        flops = 10.0 * s["T"] * s["N"] * s["N"]
+        traffic = 4.0 * s["T"] * s["N"] * s["N"] * _D
+    elif bench.name == "k2mm":
+        flops = 2.0 * s["NI"] * s["NJ"] * s["NK"] \
+            + 2.0 * s["NI"] * s["NJ"] * s["NM"]
+        traffic = 4.0 * s["NI"] * s["NJ"] * _D
+    elif bench.name == "k3mm":
+        flops = (2.0 * s["NI"] * s["NJ"] * s["NK"]
+                 + 2.0 * s["NJ"] * s["NL"] * s["NM"]
+                 + 2.0 * s["NI"] * s["NL"] * s["NJ"])
+        traffic = 6.0 * s["NI"] * s["NL"] * _D
+    elif bench.name == "mvt":
+        flops = 4.0 * s["N"] * s["N"]
+        traffic = 2.0 * s["N"] * s["N"] * _D
+    else:
+        raise KeyError(bench.name)
+    return {"flops": flops, "traffic": traffic}
+
+
+def _comm_time(bench: DistributedBenchmark, sizes: Dict[str, int], procs: int,
+               net: NetModel) -> float:
+    """Per-rank communication time of the transformed (DaCe) program."""
+    if procs <= 1:
+        return 0.0
+    pr, pc = balanced_dims(procs)
+    s = sizes
+    if bench.pattern == "embarrassing":
+        return 0.0
+    if bench.pattern == "matvec":
+        # pgemv: ring-reduce along a grid row (pc-1 block messages) and the
+        # allgather rebuilding the replicated vector; a handful per kernel
+        n = s.get("N", s.get("M", 0))
+        block = (n // pr) * _D
+        ops = {"atax": 2, "bicg": 2, "gemver": 2, "gesummv": 2, "mvt": 2}[bench.name]
+        reduce_time = math.ceil(math.log2(max(pc, 2))) * net.ptp(block) * 4
+        gather_time = net.allgather(block, max(pr, pc))
+        return ops * (reduce_time + gather_time)
+    if bench.pattern == "matmul":
+        # SUMMA: each rank receives its row strip of A (M/pr x K) and column
+        # strip of B (K x N/pc) over max(pr, pc) panel broadcasts
+        mm = {"gemm": 1, "k2mm": 2, "k3mm": 3}[bench.name]
+        dims = [v for v in s.values()]
+        n_eq = sum(dims) / len(dims)
+        a_bytes = (n_eq / pr) * n_eq * _D
+        b_bytes = n_eq * (n_eq / pc) * _D
+        steps = max(pr, pc)
+        per_panel = net.ptp(int((a_bytes + b_bytes) / steps)) \
+            * math.ceil(math.log2(max(pc, 2)))
+        return mm * steps * per_panel
+    if bench.pattern == "stencil1d":
+        return s["T"] * 2 * net.ptp(_D)
+    if bench.pattern == "stencil2d":
+        local_edge = (s["N"] // pr) * _D
+        # two fields, four halo messages each, per time step
+        return s["T"] * 2 * 4 * net.ptp(local_edge)
+    raise KeyError(bench.pattern)
+
+
+@dataclass(frozen=True)
+class FrameworkModel:
+    name: str
+    compute_efficiency: float       # fraction of node peak for local work
+    bandwidth_fraction: float       # fraction of node memory bandwidth
+    per_op_overhead_s: float        # runtime/scheduler cost per operation
+    ops_scale_with_chunks: bool     # Dask: tasks grow with the chunk count
+    net: NetModel                   # transport cost model
+    comm_multiplier: float = 1.0
+    max_procs: Optional[int] = None  # out-of-memory / instability ceiling
+    blas_kernels_match_dace: bool = False
+
+
+def _node_rates():
+    flops = Config.get("cpu.flops_gflops") * 1e9 / 18.0  # one-socket share
+    bw = Config.get("cpu.bandwidth_gbs") * 1e9 / 2.0
+    return flops, bw
+
+
+def _frameworks() -> Dict[str, FrameworkModel]:
+    cray = NetModel.from_config()
+    gasnet = NetModel(latency_s=4e-6, overhead_s=2e-6,
+                      inv_bandwidth_s_per_byte=1.0 / 6e9)
+    tcp = NetModel(latency_s=60e-6, overhead_s=25e-6,
+                   inv_bandwidth_s_per_byte=1.0 / 1.2e9)
+    return {
+        "dace": FrameworkModel("dace", compute_efficiency=0.80,
+                               bandwidth_fraction=0.85,
+                               per_op_overhead_s=2e-6,
+                               ops_scale_with_chunks=False, net=cray),
+        "legate": FrameworkModel("legate", compute_efficiency=0.75,
+                                 bandwidth_fraction=0.45,
+                                 per_op_overhead_s=0.4e-3,
+                                 ops_scale_with_chunks=False, net=gasnet,
+                                 comm_multiplier=1.6,
+                                 blas_kernels_match_dace=True),
+        "dask": FrameworkModel("dask", compute_efficiency=0.03,
+                               bandwidth_fraction=0.08,
+                               per_op_overhead_s=0.8e-3,
+                               ops_scale_with_chunks=True, net=tcp,
+                               comm_multiplier=2.0, max_procs=256),
+    }
+
+
+FRAMEWORKS = _frameworks()
+
+#: kernels whose runtime is dominated by BLAS library calls (the paper:
+#: "On BLAS-heavy benchmarks, Legate matches the runtime of DaCe on a
+#: single CPU, whereas in others we observe slowdowns of 1.7-15x")
+_BLAS_HEAVY = {"gemm", "k2mm", "k3mm", "atax", "bicg", "gesummv", "mvt",
+               "gemver"}
+
+#: base operation counts per kernel (for per-op runtime overheads)
+_OP_COUNT = {"atax": 4, "bicg": 4, "doitgen": 2, "gemm": 5, "gemver": 8,
+             "gesummv": 6, "jacobi_1d": 2, "jacobi_2d": 2, "k2mm": 7,
+             "k3mm": 8, "mvt": 4}
+
+
+def estimate(kernel: str, procs: int, framework: str = "dace") -> Optional[float]:
+    """Modeled runtime (seconds) for a Table 2 kernel at *procs* processes.
+
+    Returns None where the framework cannot run (Dask out-of-memory regime).
+    """
+    bench = TABLE2[kernel]
+    model = FRAMEWORKS[framework]
+    if model.max_procs is not None and procs > model.max_procs:
+        return None
+    sizes = scaled_sizes(bench, procs, framework)
+    work = _work(bench, sizes)
+    node_flops, node_bw = _node_rates()
+
+    eff = model.compute_efficiency
+    if framework == "legate" and kernel not in _BLAS_HEAVY:
+        eff *= 0.25  # the observed 1.7-15x slowdowns on non-BLAS kernels
+    compute = max(
+        work["flops"] / procs / (node_flops * eff),
+        work["traffic"] / procs / (node_bw * model.bandwidth_fraction))
+    # scale-dependent degradation: distributed BLAS (ScaLAPACK-class) loses
+    # efficiency to load imbalance, redistribution, and non-overlapped panel
+    # broadcasts; stencils lose to halo synchronization (between the matvec
+    # and matmul categories, per §4.4)
+    if procs > 1:
+        if bench.pattern == "matmul":
+            compute /= max(0.50, 1.0 - 0.042 * math.log2(procs))
+        elif bench.pattern == "stencil2d":
+            compute /= max(0.58, 1.0 - 0.034 * math.log2(procs))
+        elif bench.pattern == "stencil1d":
+            compute /= max(0.72, 1.0 - 0.020 * math.log2(procs))
+
+    ops = _OP_COUNT[kernel]
+    steps = sizes.get("T", 1)
+    per_step_ops = ops * max(steps, 1)
+    if model.ops_scale_with_chunks:
+        # one task per chunk through a central scheduler; block algorithms
+        # (matmul) enqueue O(P^1.5) chunk products
+        chunk_factor = procs ** 1.5 if bench.pattern == "matmul" else procs
+        per_step_ops *= chunk_factor
+    overhead = per_step_ops * model.per_op_overhead_s
+
+    comm = _comm_time(bench, sizes, procs, model.net) * model.comm_multiplier
+    total = compute + overhead + comm
+    # distributed-runtime coordination: the immediate efficiency drop both
+    # tasking frameworks show from the second process onward (§4.4)
+    if procs > 1 and framework == "legate":
+        total += 0.55 * compute
+    if procs > 1 and framework == "dask":
+        total += (0.6 + 0.05 * math.log2(procs)) * compute
+    return total
+
+
+def weak_scaling_series(kernel: str, proc_counts, framework: str = "dace"
+                        ) -> Dict[int, float]:
+    """Fig. 12 series: {process count: modeled runtime}."""
+    series = {}
+    for procs in proc_counts:
+        t = estimate(kernel, procs, framework)
+        if t is not None:
+            series[procs] = t
+    return series

@@ -1,0 +1,152 @@
+"""Frontend integration of ``repro.comm``: communication calls become
+tasklets in the program's dataflow (the paper's Library-Node integration,
+§4.3), enabling the graph-level communication transformations to see them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Tuple
+
+from ..frontend.astutils import UnsupportedFeature, unparse
+from ..frontend.parser import ArrayOp, ConstOp, SymOp
+from ..frontend.replacements import register_replacement
+from ..ir.memlet import Memlet
+from ..symbolic import Expr, Range
+from . import comm_api
+
+__all__ = []
+
+
+def _symbolic_shape(visitor, node: ast.expr) -> Tuple[Expr, ...]:
+    elements = list(node.elts) if isinstance(node, (ast.Tuple, ast.List)) \
+        else [node]
+    shape = []
+    for element in elements:
+        operand = visitor._parse_expr(element)
+        if isinstance(operand, SymOp):
+            shape.append(operand.expr)
+        elif isinstance(operand, ConstOp):
+            from ..symbolic import Integer
+
+            shape.append(Integer(int(operand.value)))
+        else:
+            raise UnsupportedFeature(
+                "comm shapes must be constants or symbolic expressions")
+    return tuple(shape)
+
+
+def _install_constants(visitor) -> None:
+    visitor.sdfg.constants.setdefault("__comm_BlockScatter", comm_api.BlockScatter)
+    visitor.sdfg.constants.setdefault("__comm_BlockGather", comm_api.BlockGather)
+    visitor.sdfg.constants.setdefault("__comm_HaloExchange", comm_api.HaloExchange)
+    visitor.sdfg.constants.setdefault("__comm_Allreduce", comm_api.Allreduce)
+    visitor.sdfg.constants.setdefault("__comm_Barrier", comm_api.Barrier)
+
+
+@register_replacement(comm_api.BlockScatter)
+def _block_scatter(visitor, node: ast.Call):
+    if len(node.args) < 2:
+        raise UnsupportedFeature(
+            "repro.comm.BlockScatter(global, local_shape) requires the "
+            "local shape (see DESIGN.md on the API deviation)")
+    source = visitor._parse_expr(node.args[0])
+    if not isinstance(source, ArrayOp):
+        raise UnsupportedFeature("BlockScatter requires an array argument")
+    shape = _symbolic_shape(visitor, node.args[1])
+    _install_constants(visitor)
+    desc = visitor._desc(source)
+    out = visitor._tmp(shape, desc.dtype)
+    state = visitor._new_state("block_scatter")
+    shape_code = "(" + ", ".join(f"({s})" for s in shape) + ",)"
+    tasklet = state.add_tasklet(
+        "BlockScatter", {"__g"}, {"__out"},
+        f"__out = __comm_BlockScatter(__g, {shape_code})")
+    state.add_edge(state.add_read(source.name), None, tasklet, "__g",
+                   Memlet(source.name, Range.from_shape(desc.shape),
+                          dynamic=True))
+    out_desc = visitor.sdfg.arrays[out]
+    state.add_edge(tasklet, "__out", state.add_write(out), None,
+                   Memlet(out, Range.from_shape(out_desc.shape)))
+    return ArrayOp(out)
+
+
+@register_replacement(comm_api.BlockGather)
+def _block_gather(visitor, node: ast.Call):
+    source = visitor._parse_expr(node.args[0])
+    if not isinstance(source, ArrayOp):
+        raise UnsupportedFeature("BlockGather requires an array argument")
+    if len(node.args) < 2:
+        raise UnsupportedFeature(
+            "repro.comm.BlockGather(local, global_shape) requires the "
+            "global shape (see DESIGN.md on the API deviation)")
+    shape = _symbolic_shape(visitor, node.args[1])
+    _install_constants(visitor)
+    desc = visitor._desc(source)
+    out = visitor._tmp(shape, desc.dtype)
+    state = visitor._new_state("block_gather")
+    shape_code = "(" + ", ".join(f"({s})" for s in shape) + ",)"
+    tasklet = state.add_tasklet(
+        "BlockGather", {"__l"}, {"__out"},
+        f"__out = __comm_BlockGather(__l, {shape_code})")
+    state.add_edge(state.add_read(source.name), None, tasklet, "__l",
+                   Memlet(source.name, Range.from_shape(desc.shape),
+                          dynamic=True))
+    out_desc = visitor.sdfg.arrays[out]
+    state.add_edge(tasklet, "__out", state.add_write(out), None,
+                   Memlet(out, Range.from_shape(out_desc.shape)))
+    return ArrayOp(out)
+
+
+@register_replacement(comm_api.HaloExchange)
+def _halo_exchange(visitor, node: ast.Call):
+    target = visitor._parse_expr(node.args[0])
+    if not isinstance(target, ArrayOp):
+        raise UnsupportedFeature("HaloExchange requires an array argument")
+    _install_constants(visitor)
+    desc = visitor._desc(target)
+    state = visitor._new_state("halo_exchange")
+    conn = "__halo"
+    tasklet = state.add_tasklet(
+        "HaloExchange", {conn}, {conn + "_out"},
+        f"__comm_HaloExchange({conn})\n{conn}_out = {conn}")
+    full = Range.from_shape(desc.shape)
+    state.add_edge(state.add_read(target.name), None, tasklet, conn,
+                   Memlet(target.name, full, dynamic=True))
+    state.add_edge(tasklet, conn + "_out", state.add_write(target.name), None,
+                   Memlet(target.name, full, dynamic=True))
+    return target
+
+
+@register_replacement(comm_api.Allreduce)
+def _allreduce(visitor, node: ast.Call):
+    value = visitor._parse_expr(node.args[0])
+    _install_constants(visitor)
+    if not isinstance(value, ArrayOp):
+        raise UnsupportedFeature("comm.Allreduce requires a container operand")
+    desc = visitor._desc(value)
+    out = visitor._tmp((), desc.dtype)
+    state = visitor._new_state("allreduce")
+    from ..ir.data import Scalar
+
+    subset = (Range.from_string("0") if isinstance(desc, Scalar)
+              else Range.from_shape(desc.shape))
+    tasklet = state.add_tasklet("Allreduce", {"__v"}, {"__out"},
+                                "__out = __comm_Allreduce(__v)")
+    state.add_edge(state.add_read(value.name), None, tasklet, "__v",
+                   Memlet(value.name, subset, dynamic=True))
+    state.add_edge(tasklet, "__out", state.add_write(out), None,
+                   Memlet(out, Range.from_string("0")))
+    return ArrayOp(out)
+
+
+@register_replacement(comm_api.Barrier)
+def _barrier(visitor, node: ast.Call):
+    _install_constants(visitor)
+    state = visitor._new_state("barrier")
+    tasklet = state.add_tasklet("Barrier", set(), {"__out"},
+                                "__comm_Barrier()\n__out = 0")
+    sink = visitor._tmp((), visitor._dtype_of(ConstOp(0)))
+    state.add_edge(tasklet, "__out", state.add_write(sink), None,
+                   Memlet(sink, Range.from_string("0")))
+    return ConstOp(0)

@@ -1,0 +1,221 @@
+"""PBLAS substitute: distributed BLAS over the simulated MPI (§4.1).
+
+Implements the routines the paper's transformations expand to —
+``p?gemm`` (SUMMA-style), ``p?gemv`` (with transpose), ``p?tran``, and the
+``p?gemr2d``-style redistribution — on 2-D block-distributed operands.
+Broadcasts along grid rows/columns use point-to-point messages, so the
+LogGP clock accounting composes without sub-communicators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simmpi.comm import Comm
+from ..simmpi.grid import ProcessGrid
+from .block import block_bounds
+
+__all__ = ["pgemm", "pgemv", "ptran", "pgemr2d"]
+
+_TAG_ROW = 101
+_TAG_COL = 102
+_TAG_RED = 103
+_TAG_TRN = 104
+
+
+def _row_bcast(comm: Comm, grid: ProcessGrid, owner_col: int, data, shape, dtype):
+    """Broadcast within a grid row from the member at *owner_col*."""
+    row, col = grid.coords(comm.rank)
+    pr, pc = grid.dims
+    if col == owner_col:
+        for dst_col in range(pc):
+            if dst_col != col:
+                comm.Send(data, grid.rank_of((row, dst_col)), tag=_TAG_ROW)
+        return data
+    recv = np.empty(shape, dtype=dtype)
+    comm.Recv(recv, grid.rank_of((row, owner_col)), tag=_TAG_ROW)
+    return recv
+
+
+def _col_bcast(comm: Comm, grid: ProcessGrid, owner_row: int, data, shape, dtype):
+    row, col = grid.coords(comm.rank)
+    pr, pc = grid.dims
+    if row == owner_row:
+        for dst_row in range(pr):
+            if dst_row != row:
+                comm.Send(data, grid.rank_of((dst_row, col)), tag=_TAG_COL)
+        return data
+    recv = np.empty(shape, dtype=dtype)
+    comm.Recv(recv, grid.rank_of((owner_row, col)), tag=_TAG_COL)
+    return recv
+
+
+def pgemm(comm: Comm, grid: ProcessGrid, local_a: np.ndarray,
+          local_b: np.ndarray, global_shapes, alpha: float = 1.0,
+          beta: float = 0.0, local_c: Optional[np.ndarray] = None) -> np.ndarray:
+    """SUMMA: C = alpha*A@B + beta*C on 2-D block-distributed operands.
+
+    ``global_shapes = (M, K, N)``.  A is (M,K)-distributed, B is (K,N)-
+    distributed, C is (M,N)-distributed, all on the same (Pr, Pc) grid.
+    """
+    M, K, N = global_shapes
+    pr, pc = grid.dims
+    row, col = grid.coords(comm.rank)
+    m_lo, m_hi = block_bounds(M, pr, row)
+    n_lo, n_hi = block_bounds(N, pc, col)
+    acc = np.zeros((m_hi - m_lo, n_hi - n_lo), dtype=np.result_type(local_a,
+                                                                    local_b))
+    # common K partition: union of A's (by grid columns) and B's (by grid
+    # rows) block boundaries, so every panel has one A owner and one B owner
+    cuts = {0, K}
+    for c in range(pc):
+        cuts.update(block_bounds(K, pc, c))
+    for r in range(pr):
+        cuts.update(block_bounds(K, pr, r))
+    boundaries = sorted(cuts)
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        if lo >= hi:
+            continue
+        a_owner = next(c for c in range(pc)
+                       if block_bounds(K, pc, c)[0] <= lo < block_bounds(K, pc, c)[1])
+        b_owner = next(r for r in range(pr)
+                       if block_bounds(K, pr, r)[0] <= lo < block_bounds(K, pr, r)[1])
+        k_lo_a = block_bounds(K, pc, a_owner)[0]
+        k_lo_b = block_bounds(K, pr, b_owner)[0]
+        a_shape = (m_hi - m_lo, hi - lo)
+        a_slice = (np.ascontiguousarray(local_a[:, lo - k_lo_a:hi - k_lo_a])
+                   if col == a_owner else None)
+        a_panel = _row_bcast(comm, grid, a_owner, a_slice, a_shape, acc.dtype)
+        b_shape = (hi - lo, n_hi - n_lo)
+        b_slice = (np.ascontiguousarray(local_b[lo - k_lo_b:hi - k_lo_b, :])
+                   if row == b_owner else None)
+        b_panel = _col_bcast(comm, grid, b_owner, b_slice, b_shape, acc.dtype)
+        acc += a_panel @ b_panel
+        comm.advance(2.0 * a_shape[0] * (hi - lo) * b_shape[1]
+                     / _local_gemm_rate())
+    if local_c is not None and beta != 0.0:
+        return alpha * acc + beta * local_c
+    return alpha * acc
+
+
+def _local_gemm_rate() -> float:
+    from ..config import Config
+
+    return (Config.get("cpu.flops_gflops") * 1e9
+            * Config.get("cpu.mkl_gemm_efficiency") / 2.0)
+
+
+def pgemv(comm: Comm, grid: ProcessGrid, local_a: np.ndarray,
+          x_block: np.ndarray, global_shapes, transpose: bool = False) -> np.ndarray:
+    """y = A @ x (or A.T @ x) with A 2-D block-distributed.
+
+    ``x`` is distributed along grid columns (replicated across rows) for the
+    normal case, and along grid rows for the transposed case.  The result is
+    distributed along rows (normal) or columns (transposed) and replicated
+    across the orthogonal grid dimension — matching what a chain like
+    ``A.T @ (A @ x)`` (atax) needs with no redistribution.
+    """
+    M, N = global_shapes
+    pr, pc = grid.dims
+    row, col = grid.coords(comm.rank)
+    if not transpose:
+        partial = local_a @ x_block
+        # sum partials across the grid row; leave result replicated row-wide
+        result = _ring_reduce_replicate(comm, grid, partial, axis="row")
+    else:
+        partial = local_a.T @ x_block
+        result = _ring_reduce_replicate(comm, grid, partial, axis="col")
+    return result
+
+
+def _ring_reduce_replicate(comm: Comm, grid: ProcessGrid, partial: np.ndarray,
+                           axis: str) -> np.ndarray:
+    """Sum partials along a grid row/column and replicate the result there."""
+    pr, pc = grid.dims
+    row, col = grid.coords(comm.rank)
+    members = ([grid.rank_of((row, c)) for c in range(pc)] if axis == "row"
+               else [grid.rank_of((r, col)) for r in range(pr)])
+    me = members.index(comm.rank)
+    leader = members[0]
+    if comm.rank == leader:
+        total = np.copy(partial)
+        for other in members[1:]:
+            buf = np.empty_like(partial)
+            comm.Recv(buf, other, tag=_TAG_RED)
+            total += buf
+        for other in members[1:]:
+            comm.Send(total, other, tag=_TAG_RED + 1)
+        return total
+    comm.Send(partial, leader, tag=_TAG_RED)
+    total = np.empty_like(partial)
+    comm.Recv(total, leader, tag=_TAG_RED + 1)
+    return total
+
+
+def ptran(comm: Comm, grid: ProcessGrid, local_a: np.ndarray,
+          global_shape) -> np.ndarray:
+    """Distributed transpose: block (i,j) of A becomes block (j,i) of A.T.
+
+    Requires a square grid for direct pairwise exchange; on non-square grids
+    the blocks are routed through a gather at the diagonal owner.
+    """
+    M, N = global_shape
+    pr, pc = grid.dims
+    row, col = grid.coords(comm.rank)
+    if pr == pc:
+        partner = grid.rank_of((col, row))
+        if partner == comm.rank:
+            return np.ascontiguousarray(local_a.T)
+        sent = np.ascontiguousarray(local_a.T)
+        recv_shape = _transposed_block_shape(M, N, grid, row, col)
+        recv = np.empty(recv_shape, dtype=local_a.dtype)
+        if comm.rank < partner:
+            comm.Send(sent, partner, tag=_TAG_TRN)
+            comm.Recv(recv, partner, tag=_TAG_TRN)
+        else:
+            comm.Recv(recv, partner, tag=_TAG_TRN)
+            comm.Send(sent, partner, tag=_TAG_TRN)
+        return recv
+    raise NotImplementedError("ptran requires a square process grid")
+
+
+def _transposed_block_shape(M, N, grid, row, col):
+    pr, pc = grid.dims
+    # after transpose, rank (row, col) holds the (row, col) block of the
+    # (N, M) matrix
+    r_lo, r_hi = block_bounds(N, pr, row)
+    c_lo, c_hi = block_bounds(M, pc, col)
+    return (r_hi - r_lo, c_hi - c_lo)
+
+
+def pgemr2d(comm: Comm, src_grid: ProcessGrid, dst_grid: ProcessGrid,
+            local_block: np.ndarray, global_shape) -> np.ndarray:
+    """Redistribution between grids (gather-at-root then re-scatter)."""
+    from .block import gather_blocks, scatter_blocks
+
+    full = np.empty(global_shape, dtype=local_block.dtype)
+    gathered = np.empty(global_shape, dtype=local_block.dtype) \
+        if comm.rank == 0 else None
+    # everyone sends its block to root
+    if comm.rank == 0:
+        gather_blocks(gathered, local_block, src_grid, 0)
+        for other in range(1, comm.size):
+            coords_shape = _block_shape_of(global_shape, src_grid, other)
+            buf = np.empty(coords_shape, dtype=local_block.dtype)
+            comm.Recv(buf, other, tag=_TAG_TRN + 10)
+            gather_blocks(gathered, buf, src_grid, other)
+        full = gathered
+        for other in range(1, comm.size):
+            comm.Send(full, other, tag=_TAG_TRN + 11)
+    else:
+        comm.Send(np.ascontiguousarray(local_block), 0, tag=_TAG_TRN + 10)
+        comm.Recv(full, 0, tag=_TAG_TRN + 11)
+    return scatter_blocks(full, dst_grid, comm.rank)
+
+
+def _block_shape_of(global_shape, grid, rank):
+    from .block import block_shape
+
+    return block_shape(global_shape, grid, grid.coords(rank))

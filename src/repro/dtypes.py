@@ -1,0 +1,181 @@
+"""NumPy-compatible scalar type system and annotation syntax.
+
+Mirrors the paper's annotated-Python interface: ``repro.float64`` is a scalar
+type usable directly as a function-argument annotation, and
+``repro.float64[N, M]`` produces an array annotation with symbolic shape
+(the ``dace.float64[N, N]`` syntax from §2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from .symbolic import Expr, Symbol, sympify
+
+__all__ = [
+    "typeclass",
+    "ArrayAnnotation",
+    "symbol",
+    "bool_",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+    "float32",
+    "float64",
+    "complex64",
+    "complex128",
+    "dtype_of",
+]
+
+
+class typeclass:
+    """A scalar element type backed by a NumPy dtype.
+
+    Instances double as *scalar annotations* in ``@repro.program`` signatures;
+    subscripting (``float64[N, M]``) yields an :class:`ArrayAnnotation`.
+    """
+
+    __slots__ = ("name", "nptype")
+
+    def __init__(self, name: str, nptype: type):
+        self.name = name
+        self.nptype = np.dtype(nptype)
+
+    @property
+    def bytes(self) -> int:
+        return self.nptype.itemsize
+
+    @property
+    def is_float(self) -> bool:
+        return np.issubdtype(self.nptype, np.floating)
+
+    @property
+    def is_integer(self) -> bool:
+        return np.issubdtype(self.nptype, np.integer)
+
+    @property
+    def is_complex(self) -> bool:
+        return np.issubdtype(self.nptype, np.complexfloating)
+
+    @property
+    def is_bool(self) -> bool:
+        return self.nptype == np.dtype(bool)
+
+    def __getitem__(self, shape) -> "ArrayAnnotation":
+        if not isinstance(shape, tuple):
+            shape = (shape,)
+        return ArrayAnnotation(self, shape)
+
+    def __call__(self, value):
+        """Cast a Python/NumPy value to this scalar type."""
+        return self.nptype.type(value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, typeclass):
+            return self.nptype == other.nptype
+        if isinstance(other, (np.dtype, type)):
+            try:
+                return self.nptype == np.dtype(other)
+            except TypeError:
+                return NotImplemented
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.nptype)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def to_json(self) -> str:
+        return self.name
+
+    @staticmethod
+    def from_json(name: str) -> "typeclass":
+        return _BY_NAME[name]
+
+
+class ArrayAnnotation:
+    """An annotation ``dtype[shape...]`` carrying a symbolic shape."""
+
+    __slots__ = ("dtype", "shape")
+
+    def __init__(self, dtype: typeclass, shape: Sequence[Union[int, Expr]]):
+        self.dtype = dtype
+        self.shape: Tuple[Expr, ...] = tuple(sympify(s) for s in shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def __repr__(self) -> str:
+        dims = ", ".join(str(s) for s in self.shape)
+        return f"{self.dtype.name}[{dims}]"
+
+
+bool_ = typeclass("bool", np.bool_)
+int8 = typeclass("int8", np.int8)
+int16 = typeclass("int16", np.int16)
+int32 = typeclass("int32", np.int32)
+int64 = typeclass("int64", np.int64)
+uint8 = typeclass("uint8", np.uint8)
+uint16 = typeclass("uint16", np.uint16)
+uint32 = typeclass("uint32", np.uint32)
+uint64 = typeclass("uint64", np.uint64)
+float32 = typeclass("float32", np.float32)
+float64 = typeclass("float64", np.float64)
+complex64 = typeclass("complex64", np.complex64)
+complex128 = typeclass("complex128", np.complex128)
+
+_ALL = [
+    bool_, int8, int16, int32, int64, uint8, uint16, uint32, uint64,
+    float32, float64, complex64, complex128,
+]
+_BY_NAME = {t.name: t for t in _ALL}
+_BY_NAME["bool_"] = bool_
+
+
+def dtype_of(value) -> typeclass:
+    """Map a NumPy dtype / array / Python scalar to its typeclass."""
+    if isinstance(value, typeclass):
+        return value
+    if isinstance(value, np.ndarray):
+        np_dtype = value.dtype
+    elif isinstance(value, np.dtype):
+        np_dtype = value
+    elif isinstance(value, np.generic):
+        np_dtype = value.dtype
+    elif isinstance(value, bool):
+        np_dtype = np.dtype(np.bool_)
+    elif isinstance(value, int):
+        np_dtype = np.dtype(np.int64)
+    elif isinstance(value, float):
+        np_dtype = np.dtype(np.float64)
+    elif isinstance(value, complex):
+        np_dtype = np.dtype(np.complex128)
+    else:
+        try:
+            np_dtype = np.dtype(value)
+        except TypeError:
+            raise TypeError(f"cannot infer dtype for {value!r}") from None
+    name = np_dtype.name
+    if name not in _BY_NAME:
+        raise TypeError(f"unsupported dtype {np_dtype}")
+    return _BY_NAME[name]
+
+
+def symbol(name: str, positive: bool = True) -> Symbol:
+    """Declare a symbolic size (``N = repro.symbol('N')``)."""
+    return Symbol(name, nonnegative=True, positive=positive)
+
+
+def result_type(*types: typeclass) -> typeclass:
+    """NumPy-style type promotion over typeclasses."""
+    np_result = np.result_type(*[t.nptype for t in types])
+    return dtype_of(np_result)

@@ -1,0 +1,145 @@
+"""AST helpers for the data-centric Python frontend."""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "UnsupportedFeature",
+    "function_ast",
+    "static_eval",
+    "unparse",
+    "count_assignments",
+    "BINOP_STR",
+    "CMPOP_STR",
+    "UNARYOP_STR",
+]
+
+
+class UnsupportedFeature(NotImplementedError):
+    """Raised when a Python feature is outside the high-performance subset
+    (§2.5); the decorator may fall back to the interpreter."""
+
+
+def function_ast(func: Callable) -> Tuple[ast.FunctionDef, str]:
+    """Return the (dedented) FunctionDef AST and source of *func*."""
+    try:
+        source = inspect.getsource(func)
+    except (OSError, TypeError) as exc:
+        raise UnsupportedFeature(f"cannot retrieve source of {func!r}") from exc
+    source = textwrap.dedent(source)
+    module = ast.parse(source)
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            return node, source
+    raise UnsupportedFeature(f"no function definition found in source of {func!r}")
+
+
+def unparse(node: ast.AST) -> str:
+    return ast.unparse(node)
+
+
+def static_eval(node: ast.AST, env: Dict[str, Any]) -> Tuple[bool, Any]:
+    """Try evaluating an AST expression against a static environment.
+
+    Returns ``(True, value)`` on success, ``(False, None)`` otherwise.  Used
+    to resolve module attributes (``np.zeros``), dtype arguments, and
+    compile-time constants.
+    """
+    try:
+        code = compile(ast.Expression(body=_strip_ctx(node)), "<static>", "eval")
+        merged = dict(_STATIC_BUILTINS)
+        merged.update(env)
+        return True, eval(code, {"__builtins__": {}}, merged)
+    except Exception:
+        return False, None
+
+
+#: builtins resolvable during static evaluation (so ``max(...)`` and friends
+#: dispatch to their registered replacements)
+_STATIC_BUILTINS = {
+    "min": min, "max": max, "abs": abs, "len": len, "range": range,
+    "int": int, "float": float, "bool": bool, "sum": sum,
+}
+
+
+def _strip_ctx(node: ast.AST) -> ast.AST:
+    """Deep-copy with Load contexts (so Store targets can be evaluated)."""
+    import copy
+
+    node = copy.deepcopy(node)
+    for sub in ast.walk(node):
+        if hasattr(sub, "ctx"):
+            sub.ctx = ast.Load()
+    ast.fix_missing_locations(node)
+    return node
+
+
+def count_assignments(func_ast: ast.FunctionDef) -> Dict[str, int]:
+    """Number of times each plain name is assigned in the function body."""
+    counts: Dict[str, int] = {}
+
+    class Counter(ast.NodeVisitor):
+        def visit_Name(self, node: ast.Name):
+            if isinstance(node.ctx, (ast.Store, ast.AugStore)) if hasattr(ast, "AugStore") \
+                    else isinstance(node.ctx, ast.Store):
+                counts[node.id] = counts.get(node.id, 0) + 1
+
+        def visit_AugAssign(self, node: ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                counts[node.target.id] = counts.get(node.target.id, 0) + 1
+            self.generic_visit(node)
+
+        def visit_For(self, node: ast.For):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    counts[target.id] = counts.get(target.id, 0) + 1
+            for stmt in node.body + node.orelse:
+                self.visit(stmt)
+            self.visit(node.iter)
+
+    Counter().visit(func_ast)
+    return counts
+
+
+BINOP_STR = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+    ast.BitAnd: "&",
+    ast.BitOr: "|",
+    ast.BitXor: "^",
+    ast.LShift: "<<",
+    ast.RShift: ">>",
+}
+
+CMPOP_STR = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+UNARYOP_STR = {
+    ast.USub: "-",
+    ast.UAdd: "+",
+    ast.Invert: "~",
+    ast.Not: "not ",
+}
+
+#: AugAssign operators that map onto WCR functions when racy
+AUG_TO_WCR = {
+    ast.Add: "sum",
+    ast.Mult: "prod",
+    ast.BitAnd: "logical_and",
+    ast.BitOr: "logical_or",
+}

@@ -1,0 +1,245 @@
+"""The ``@repro.program`` decorator (the paper's ``@dace.program``).
+
+Decorated functions are parsed on demand into SDFGs.  Type-annotated
+functions support ahead-of-time compilation (§3.3); unannotated functions
+are JIT-specialized per argument signature.  ``auto_optimize=True`` with a
+``device`` runs the §3.1 heuristics before compilation.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import Config
+from ..dtypes import ArrayAnnotation, dtype_of, typeclass
+from ..ir.data import Array, Data, Scalar
+from ..ir.sdfg import SDFG
+from ..symbolic import Symbol
+from .astutils import UnsupportedFeature, function_ast
+
+__all__ = ["DaceProgram", "program", "MapMarker", "map_marker"]
+
+
+class MapMarker:
+    """The ``repro.map[...]`` parametric-parallelism iterator (§2.2)."""
+
+    __is_map_marker__ = True
+
+    def __getitem__(self, ranges):
+        raise TypeError(
+            "repro.map[...] can only be iterated inside an @repro.program "
+            "function (it is parsed, not executed)")
+
+    def __repr__(self) -> str:
+        return "repro.map"
+
+
+map_marker = MapMarker()
+
+
+class DaceProgram:
+    """A parsed-on-demand data-centric program."""
+
+    def __init__(self, func: Callable, auto_optimize: bool = False,
+                 device: str = "CPU", fallback: Optional[bool] = None,
+                 backend: str = "codegen"):
+        functools.update_wrapper(self, func)
+        self.func = func
+        self.name = func.__name__
+        self.auto_optimize = auto_optimize
+        self.device = device
+        self.fallback = fallback
+        self.backend = backend
+        self._sdfg_cache: Dict[Tuple, SDFG] = {}
+        self._compiled_cache: Dict[Tuple, Any] = {}
+        self._signature = inspect.signature(func)
+        self._defaults = {
+            name: param.default
+            for name, param in self._signature.parameters.items()
+            if param.default is not inspect.Parameter.empty
+        }
+
+    # -------------------------------------------------------------- descriptors
+    def _global_env(self) -> Dict[str, Any]:
+        env = dict(getattr(self.func, "__globals__", {}))
+        closure = getattr(self.func, "__closure__", None)
+        if closure:
+            for name, cell in zip(self.func.__code__.co_freevars, closure):
+                try:
+                    env[name] = cell.cell_contents
+                except ValueError:
+                    pass
+        return env
+
+    def _annotation_descs(self) -> Optional[Dict[str, Any]]:
+        """Descriptors from type annotations, or None if unannotated."""
+        descs: Dict[str, Any] = {}
+        for name, param in self._signature.parameters.items():
+            annotation = param.annotation
+            if annotation is inspect.Parameter.empty:
+                return None
+            descs[name] = _annotation_to_desc(annotation)
+        return descs
+
+    def _descs_from_args(self, args, kwargs) -> Dict[str, Any]:
+        bound = self._signature.bind_partial(*args, **kwargs)
+        bound.apply_defaults()
+        descs: Dict[str, Any] = {}
+        for name, param in self._signature.parameters.items():
+            annotation = param.annotation
+            if annotation is not inspect.Parameter.empty:
+                descs[name] = _annotation_to_desc(annotation)
+                continue
+            if name not in bound.arguments:
+                raise TypeError(f"missing argument {name!r} for {self.name}")
+            value = bound.arguments[name]
+            descs[name] = _value_to_desc(value)
+        return descs
+
+    @staticmethod
+    def _desc_key(descs: Dict[str, Any]) -> Tuple:
+        parts = []
+        for name, desc in descs.items():
+            if isinstance(desc, Data):
+                parts.append((name, type(desc).__name__, desc.dtype.name,
+                              tuple(str(s) for s in desc.shape)))
+            else:
+                parts.append((name, "symbol"))
+        return tuple(parts)
+
+    # ------------------------------------------------------------------ parsing
+    def parse_for_descs(self, arg_descs: Dict[str, Any],
+                        extra_globals: Optional[Dict[str, Any]] = None) -> SDFG:
+        from .parser import parse_program
+
+        key = self._desc_key(arg_descs)
+        if key in self._sdfg_cache:
+            return self._sdfg_cache[key]
+        env = self._global_env()
+        if extra_globals:
+            for name, value in extra_globals.items():
+                env.setdefault(name, value)
+        cloned = {name: (desc.clone() if isinstance(desc, Data) else desc)
+                  for name, desc in arg_descs.items()}
+        sdfg = parse_program(self.func, cloned, env, name=self.name,
+                             defaults=self._defaults)
+        if Config.get("optimizer.simplify"):
+            sdfg.simplify()
+        self._sdfg_cache[key] = sdfg
+        return sdfg
+
+    def to_sdfg(self, *args, simplify: Optional[bool] = None, **kwargs) -> SDFG:
+        """Parse to an SDFG.  Annotated programs need no arguments (AOT);
+        unannotated programs specialize to the given example arguments."""
+        descs = self._annotation_descs()
+        if descs is None:
+            if not args and not kwargs:
+                raise UnsupportedFeature(
+                    f"{self.name} has unannotated parameters; pass example "
+                    f"arguments to to_sdfg() for JIT specialization")
+            descs = self._descs_from_args(args, kwargs)
+        if simplify is None:
+            return self.parse_for_descs(descs)
+        with Config.override(optimizer__simplify=simplify):
+            # bypass the cache so the simplify setting takes effect
+            key = self._desc_key(descs) + (simplify,)
+            if key not in self._sdfg_cache:
+                from .parser import parse_program
+
+                cloned = {name: (d.clone() if isinstance(d, Data) else d)
+                          for name, d in descs.items()}
+                sdfg = parse_program(self.func, cloned, self._global_env(),
+                                     name=self.name, defaults=self._defaults)
+                if simplify:
+                    sdfg.simplify()
+                self._sdfg_cache[key] = sdfg
+            return self._sdfg_cache[key]
+
+    # ---------------------------------------------------------------- execution
+    def compile(self, *args, device: Optional[str] = None, **kwargs):
+        """Ahead-of-time compile; returns a CompiledSDFG."""
+        from ..codegen import compile_sdfg
+
+        device = device or self.device
+        sdfg = self.to_sdfg(*args, **kwargs)
+        key = (self._desc_key(self.to_sdfg_descs(args, kwargs)), device,
+               self.auto_optimize)
+        if key in self._compiled_cache:
+            return self._compiled_cache[key]
+        if self.auto_optimize:
+            sdfg = sdfg.clone()
+            sdfg.auto_optimize(device=device)
+        compiled = compile_sdfg(sdfg, device=device)
+        self._compiled_cache[key] = compiled
+        return compiled
+
+    def to_sdfg_descs(self, args, kwargs) -> Dict[str, Any]:
+        descs = self._annotation_descs()
+        if descs is None:
+            descs = self._descs_from_args(args, kwargs)
+        return descs
+
+    def __call__(self, *args, **kwargs):
+        fallback = self.fallback
+        try:
+            compiled = self.compile(*args, **kwargs)
+        except UnsupportedFeature as exc:
+            if fallback:
+                warnings.warn(
+                    f"{self.name}: falling back to the Python interpreter "
+                    f"({exc})", RuntimeWarning, stacklevel=2)
+                return self.func(*args, **kwargs)
+            raise
+        bound = self._signature.bind_partial(*args, **kwargs)
+        bound.apply_defaults()
+        call_kwargs = {}
+        for name, value in bound.arguments.items():
+            if isinstance(value, (np.ndarray, np.generic, int, float, complex, bool)):
+                call_kwargs[name] = value
+        return compiled(**call_kwargs)
+
+    def __repr__(self) -> str:
+        return f"DaceProgram({self.name})"
+
+
+def _annotation_to_desc(annotation) -> Any:
+    if isinstance(annotation, ArrayAnnotation):
+        return Array(annotation.dtype, annotation.shape)
+    if isinstance(annotation, typeclass):
+        return Scalar(annotation)
+    if isinstance(annotation, Symbol):
+        return annotation
+    raise UnsupportedFeature(
+        f"unsupported annotation {annotation!r}; use repro dtypes "
+        f"(e.g. repro.float64[N, N])")
+
+
+def _value_to_desc(value) -> Data:
+    if isinstance(value, np.ndarray):
+        return Array(dtype_of(value.dtype), value.shape)
+    if isinstance(value, (np.generic, int, float, complex, bool)):
+        return Scalar(dtype_of(value))
+    raise UnsupportedFeature(f"cannot infer descriptor for argument {value!r}")
+
+
+def program(func: Optional[Callable] = None, *, auto_optimize: bool = False,
+            device: str = "CPU", fallback: Optional[bool] = None,
+            backend: str = "codegen"):
+    """Decorator marking a function as a data-centric program.
+
+    Usable bare (``@repro.program``) or with options
+    (``@repro.program(auto_optimize=True, device="GPU")``).
+    """
+    if func is not None:
+        return DaceProgram(func)
+
+    def wrapper(f: Callable) -> DaceProgram:
+        return DaceProgram(f, auto_optimize=auto_optimize, device=device,
+                           fallback=fallback, backend=backend)
+
+    return wrapper

@@ -1,0 +1,319 @@
+"""Lowering of ``dace.map`` loop bodies into tasklets.
+
+A map body is straight-line Python (optionally with inner sequential loops
+and branches, which stay inside the tasklet).  Array accesses become
+connectors with symbolic memlets; augmented assignments either become
+read-modify-write pairs (no race: every map parameter appears in the index)
+or WCR outputs (§2.3), reproducing the paper's write-conflict analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.data import Scalar
+from ..ir.memlet import Memlet
+from ..symbolic import Range
+from .astutils import BINOP_STR, UnsupportedFeature, unparse
+
+__all__ = ["TaskletBuilder"]
+
+#: augmented operators convertible to WCR under races
+_AUG_WCR = {ast.Add: "sum", ast.Mult: "prod", ast.Sub: "sum", ast.Div: "prod"}
+
+
+def _collect_locals(body: List[ast.stmt], params: Sequence[str]) -> Set[str]:
+    """Names assigned inside the body (tasklet-local variables)."""
+    names: Set[str] = set()
+
+    class Collector(ast.NodeVisitor):
+        def visit_Name(self, node: ast.Name):
+            if isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+
+        def visit_AugAssign(self, node: ast.AugAssign):
+            # augmented targets need a prior definition; one defined outside
+            # the body is an outer container (WCR candidate), not a local
+            self.visit(node.value)
+            if isinstance(node.target, ast.Subscript):
+                self.visit(node.target)
+
+        def visit_For(self, node: ast.For):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+            for stmt in node.body + node.orelse:
+                self.visit(stmt)
+
+    collector = Collector()
+    for stmt in body:
+        collector.visit(stmt)
+    return names - set(params)
+
+
+class TaskletBuilder(ast.NodeTransformer):
+    """Transforms a map body into tasklet code + input/output memlets."""
+
+    def __init__(self, visitor, params: Sequence[str]):
+        self.visitor = visitor
+        self.params = list(params)
+        self.param_set = set(params)
+        self.inputs: Dict[str, Memlet] = {}
+        self.outputs: Dict[str, Memlet] = {}
+        self._read_conns: Dict[Tuple[str, str], str] = {}
+        self._write_conns: Dict[Tuple[str, str], str] = {}
+        self._dynamic_conns: Dict[str, str] = {}
+        self._counter = 0
+        self.locals: Set[str] = set()
+
+    # ------------------------------------------------------------------ entry
+    def build(self, body: List[ast.stmt]) -> Tuple[str, Dict[str, Memlet], Dict[str, Memlet]]:
+        self.locals = _collect_locals(body, self.params)
+        statements = []
+        for stmt in body:
+            result = self.visit(copy.deepcopy(stmt))
+            if result is not None:
+                statements.append(result)
+        for stmt in statements:
+            ast.fix_missing_locations(stmt)
+        code = "\n".join(unparse(s) for s in statements)
+        if not self.outputs:
+            raise UnsupportedFeature("map body writes no data")
+        return code, self.inputs, self.outputs
+
+    # ----------------------------------------------------------------- helpers
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _resolve_array(self, name: str) -> Optional[str]:
+        from .parser import ArrayOp
+
+        operand = self.visitor.symtable.get(name)
+        if isinstance(operand, ArrayOp):
+            return operand.name
+        return None
+
+    def _subset_of(self, arr: str, slice_node: ast.expr) -> Optional[Range]:
+        """Symbolic subset, or None when the access must be dynamic."""
+        from .parser import _DataDependentIndex
+
+        desc = self.visitor.sdfg.arrays[arr]
+        try:
+            subset, _ = self.visitor._subset_from_ast(desc, slice_node)
+        except (_DataDependentIndex, UnsupportedFeature):
+            return None
+        # indices referencing tasklet locals cannot be static memlets
+        known = self.param_set | set(self.visitor.sdfg.symbols)
+        for sym in subset.free_symbols:
+            if sym.name in self.locals:
+                return None
+            if sym.name not in known and sym.name not in self.visitor.symtable:
+                # unknown name: assume it is an outer loop symbol
+                continue
+        return subset
+
+    def _dynamic_conn(self, arr: str, write: bool) -> str:
+        conn = self._dynamic_conns.get(arr)
+        if conn is None:
+            conn = f"__dyn_{arr}"
+            self._dynamic_conns[arr] = conn
+            desc = self.visitor.sdfg.arrays[arr]
+            self.inputs[conn] = Memlet(arr, Range.from_shape(desc.shape), dynamic=True)
+        if write and conn not in self.outputs:
+            desc = self.visitor.sdfg.arrays[arr]
+            self.outputs[conn] = Memlet(arr, Range.from_shape(desc.shape), dynamic=True)
+        return conn
+
+    def _input_conn(self, arr: str, subset: Range) -> str:
+        key = (arr, str(subset))
+        if key in self._read_conns:
+            return self._read_conns[key]
+        conn = self._fresh("__c")
+        self._read_conns[key] = conn
+        self.inputs[conn] = Memlet(arr, subset)
+        return conn
+
+    def _output_conn(self, arr: str, subset: Range, wcr: Optional[str] = None) -> str:
+        key = (arr, str(subset))
+        if key in self._write_conns:
+            conn = self._write_conns[key]
+            if wcr and self.outputs[conn].wcr is None:
+                self.outputs[conn] = Memlet(arr, subset, wcr=wcr)
+            return conn
+        conn = self._fresh("__o")
+        self._write_conns[key] = conn
+        self.outputs[conn] = Memlet(arr, subset, wcr=wcr)
+        return conn
+
+    def _is_race(self, subset: Range) -> bool:
+        """A write races iff some map parameter does not pin the subset."""
+        free = {s.name for s in subset.free_symbols}
+        return not self.param_set.issubset(free)
+
+    # --------------------------------------------------------------- transforms
+    def visit_Subscript(self, node: ast.Subscript):
+        if isinstance(node.ctx, ast.Store):
+            raise UnsupportedFeature(
+                "internal: store subscripts handled by Assign/AugAssign")
+        if isinstance(node.value, ast.Name):
+            arr = self._resolve_array(node.value.id)
+            if arr is not None:
+                subset = self._subset_of(arr, node.slice)
+                if subset is not None and subset.is_point() is True:
+                    conn = self._input_conn(arr, subset)
+                    return ast.copy_location(ast.Name(id=conn, ctx=ast.Load()), node)
+                # dynamic or sliced access: full-array connector, keep indexing
+                conn = self._dynamic_conn(arr, write=False)
+                new_slice = self.visit(node.slice)
+                return ast.copy_location(
+                    ast.Subscript(value=ast.Name(id=conn, ctx=ast.Load()),
+                                  slice=new_slice, ctx=ast.Load()), node)
+        return self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name):
+        from .parser import ArrayOp, ConstOp, SymOp
+
+        if not isinstance(node.ctx, ast.Load):
+            return node
+        if node.id in self.param_set or node.id in self.locals:
+            return node
+        operand = self.visitor.symtable.get(node.id)
+        if operand is None:
+            return node  # outer loop symbol / builtin
+        if isinstance(operand, ConstOp):
+            return ast.copy_location(ast.Constant(value=operand.value), node)
+        if isinstance(operand, SymOp):
+            expr = ast.parse(str(operand.expr), mode="eval").body
+            return ast.copy_location(expr, node)
+        assert isinstance(operand, ArrayOp)
+        desc = self.visitor.sdfg.arrays[operand.name]
+        if isinstance(desc, Scalar):
+            conn = self._input_conn(operand.name, Range.from_string("0"))
+            return ast.copy_location(ast.Name(id=conn, ctx=ast.Load()), node)
+        conn = self._dynamic_conn(operand.name, write=False)
+        return ast.copy_location(ast.Name(id=conn, ctx=ast.Load()), node)
+
+    def visit_Assign(self, node: ast.Assign):
+        if len(node.targets) != 1:
+            raise UnsupportedFeature("multiple targets in map body")
+        target = node.targets[0]
+        value = self.visit(node.value)
+        if isinstance(target, ast.Name):
+            self.locals.add(target.id)
+            return ast.copy_location(
+                ast.Assign(targets=[target], value=value), node)
+        if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+            arr = self._resolve_array(target.value.id)
+            if arr is None:
+                raise UnsupportedFeature(
+                    f"assignment to unknown array {target.value.id!r} in map body")
+            subset = self._subset_of(arr, target.slice)
+            if subset is not None and subset.is_point() is True:
+                conn = self._output_conn(arr, subset)
+                return ast.copy_location(
+                    ast.Assign(targets=[ast.Name(id=conn, ctx=ast.Store())],
+                               value=value), node)
+            conn = self._dynamic_conn(arr, write=True)
+            new_slice = self.visit(target.slice)
+            new_target = ast.Subscript(value=ast.Name(id=conn, ctx=ast.Load()),
+                                       slice=new_slice, ctx=ast.Store())
+            return ast.copy_location(
+                ast.Assign(targets=[new_target], value=value), node)
+        raise UnsupportedFeature(
+            f"unsupported assignment target in map body: {unparse(target)!r}")
+
+    def visit_AugAssign(self, node: ast.AugAssign):
+        from .parser import ArrayOp
+
+        op_str = BINOP_STR.get(type(node.op))
+        if op_str is None:
+            raise UnsupportedFeature(
+                f"unsupported augmented operator in map body {unparse(node)!r}")
+        value = self.visit(node.value)
+
+        if isinstance(node.target, ast.Name):
+            if node.target.id in self.locals:
+                return ast.copy_location(
+                    ast.AugAssign(target=node.target, op=node.op, value=value), node)
+            operand = self.visitor.symtable.get(node.target.id)
+            if isinstance(operand, ArrayOp):
+                desc = self.visitor.sdfg.arrays[operand.name]
+                if isinstance(desc, Scalar):
+                    # scalar accumulation across iterations: always a race
+                    return self._wcr_assign(operand.name, Range.from_string("0"),
+                                            node.op, value)
+            raise UnsupportedFeature(
+                f"unsupported augmented target in map body {unparse(node.target)!r}")
+
+        if isinstance(node.target, ast.Subscript) and isinstance(node.target.value, ast.Name):
+            arr = self._resolve_array(node.target.value.id)
+            if arr is None:
+                raise UnsupportedFeature(
+                    f"augmented write to unknown array in map body")
+            subset = self._subset_of(arr, node.target.slice)
+            if subset is not None and subset.is_point() is True:
+                if not self._is_race(subset):
+                    # no race: output is also an input (read-modify-write)
+                    in_conn = self._input_conn(arr, subset)
+                    out_conn = self._output_conn(arr, subset)
+                    rmw = ast.BinOp(left=ast.Name(id=in_conn, ctx=ast.Load()),
+                                    op=node.op, right=value)
+                    return ast.copy_location(
+                        ast.Assign(targets=[ast.Name(id=out_conn, ctx=ast.Store())],
+                                   value=rmw), node)
+                return self._wcr_assign(arr, subset, node.op, value)
+            # dynamic indirect accumulation (e.g. histogram bins)
+            conn = self._dynamic_conn(arr, write=True)
+            new_slice = self.visit(node.target.slice)
+            new_target = ast.Subscript(value=ast.Name(id=conn, ctx=ast.Load()),
+                                       slice=new_slice, ctx=ast.Store())
+            return ast.copy_location(
+                ast.AugAssign(target=new_target, op=node.op, value=value), node)
+        raise UnsupportedFeature(
+            f"unsupported augmented target in map body {unparse(node.target)!r}")
+
+    def _wcr_assign(self, arr: str, subset: Range, op: ast.operator,
+                    value: ast.expr) -> ast.stmt:
+        wcr = _AUG_WCR.get(type(op))
+        if wcr is None:
+            raise UnsupportedFeature(
+                "racy augmented assignment only supports +,-,*,/")
+        # a -= v  ==  a += (-v);  a /= v == a *= (1/v)
+        if isinstance(op, ast.Sub):
+            value = ast.UnaryOp(op=ast.USub(), operand=value)
+        elif isinstance(op, ast.Div):
+            value = ast.BinOp(left=ast.Constant(value=1.0), op=ast.Div(), right=value)
+        conn = self._output_conn(arr, subset, wcr=wcr)
+        return ast.Assign(targets=[ast.Name(id=conn, ctx=ast.Store())], value=value)
+
+    def visit_For(self, node: ast.For):
+        # inner sequential loop stays inside the tasklet
+        if not (isinstance(node.iter, ast.Call) and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"):
+            raise UnsupportedFeature("only range() loops are allowed inside map bodies")
+        for target in ast.walk(node.target):
+            if isinstance(target, ast.Name):
+                self.locals.add(target.id)
+        new_iter = self.generic_visit_expr(node.iter)
+        new_body = [self.visit(s) for s in node.body]
+        return ast.copy_location(
+            ast.For(target=node.target, iter=new_iter,
+                    body=[s for s in new_body if s is not None], orelse=[]), node)
+
+    def visit_If(self, node: ast.If):
+        test = self.generic_visit_expr(node.test)
+        body = [s for s in (self.visit(s) for s in node.body) if s is not None]
+        orelse = [s for s in (self.visit(s) for s in node.orelse) if s is not None]
+        return ast.copy_location(ast.If(test=test, body=body, orelse=orelse), node)
+
+    def visit_Call(self, node: ast.Call):
+        # allow math/np calls and builtins inside tasklets; transform arguments
+        args = [self.visit(a) for a in node.args]
+        return ast.copy_location(
+            ast.Call(func=node.func, args=args, keywords=node.keywords), node)
+
+    def generic_visit_expr(self, node: ast.expr) -> ast.expr:
+        return self.visit(node)

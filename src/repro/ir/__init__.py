@@ -1,0 +1,52 @@
+"""The SDFG intermediate representation."""
+
+from .data import AllocationLifetime, Array, Data, Scalar, StorageType, Stream, View
+from .dot import sdfg_to_dot
+from .interstate import InterstateEdge
+from .memlet import Memlet
+from .nodes import (
+    AccessNode,
+    CodeNode,
+    LibraryNode,
+    Map,
+    MapEntry,
+    MapExit,
+    NestedSDFG,
+    Node,
+    ScheduleType,
+    Tasklet,
+    make_map_scope,
+)
+from .sdfg import SDFG
+from .state import Edge, SDFGState
+from .validation import InvalidSDFGError, validate_sdfg, validate_state
+
+__all__ = [
+    "SDFG",
+    "SDFGState",
+    "Edge",
+    "Memlet",
+    "InterstateEdge",
+    "AccessNode",
+    "CodeNode",
+    "Tasklet",
+    "Map",
+    "MapEntry",
+    "MapExit",
+    "NestedSDFG",
+    "Node",
+    "LibraryNode",
+    "ScheduleType",
+    "StorageType",
+    "AllocationLifetime",
+    "Array",
+    "Data",
+    "Scalar",
+    "Stream",
+    "View",
+    "make_map_scope",
+    "InvalidSDFGError",
+    "validate_sdfg",
+    "validate_state",
+    "sdfg_to_dot",
+]

@@ -1,0 +1,183 @@
+"""Data descriptors: the containers of the data-centric IR.
+
+Per the first data-centric tenet, data containers are declared separately
+from computation.  Every SDFG holds a dictionary of named descriptors; access
+nodes in states refer to them by name.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple, Union
+
+from ..dtypes import typeclass, dtype_of
+from ..symbolic import Expr, Integer, sympify
+
+__all__ = ["StorageType", "AllocationLifetime", "Data", "Scalar", "Array", "Stream", "View"]
+
+
+class StorageType(enum.Enum):
+    """Where a container lives; set by device transformations."""
+
+    Default = "Default"
+    CPU_Heap = "CPU_Heap"
+    CPU_Stack = "CPU_Stack"            # transient allocation mitigation (§3.1 (4))
+    GPU_Global = "GPU_Global"
+    GPU_Shared = "GPU_Shared"
+    FPGA_Global = "FPGA_Global"        # off-chip DRAM
+    FPGA_Local = "FPGA_Local"          # on-chip BRAM/registers
+
+
+class AllocationLifetime(enum.Enum):
+    """When a transient is allocated/deallocated."""
+
+    Scope = "Scope"                    # per-execution
+    Persistent = "Persistent"          # allocated at SDFG initialization (§3.1 (4))
+
+
+class Data:
+    """Base class for all data descriptors."""
+
+    def __init__(
+        self,
+        dtype: typeclass,
+        shape: Sequence[Union[int, Expr]],
+        transient: bool = False,
+        storage: StorageType = StorageType.Default,
+        lifetime: AllocationLifetime = AllocationLifetime.Scope,
+    ):
+        self.dtype = dtype_of(dtype) if not isinstance(dtype, typeclass) else dtype
+        self.shape: Tuple[Expr, ...] = tuple(sympify(s) for s in shape)
+        self.transient = bool(transient)
+        self.storage = storage
+        self.lifetime = lifetime
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def total_size(self) -> Expr:
+        total: Expr = Integer(1)
+        for s in self.shape:
+            total = total * s
+        return total
+
+    def size_bytes(self) -> Expr:
+        return self.total_size() * self.dtype.bytes
+
+    @property
+    def free_symbols(self) -> frozenset:
+        out: frozenset = frozenset()
+        for s in self.shape:
+            out |= s.free_symbols
+        return out
+
+    def clone(self) -> "Data":
+        import copy
+
+        return copy.deepcopy(self)
+
+    def as_annotation_str(self) -> str:
+        dims = ", ".join(str(s) for s in self.shape)
+        return f"{self.dtype.name}[{dims}]"
+
+    def __repr__(self) -> str:
+        kind = type(self).__name__
+        extra = ", transient" if self.transient else ""
+        return f"{kind}({self.as_annotation_str()}{extra})"
+
+    # Serialization -------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "kind": type(self).__name__,
+            "dtype": self.dtype.to_json(),
+            "shape": [str(s) for s in self.shape],
+            "transient": self.transient,
+            "storage": self.storage.value,
+            "lifetime": self.lifetime.value,
+        }
+
+    @staticmethod
+    def from_json(obj: dict) -> "Data":
+        from ..symbolic.sets import Range
+
+        kind = obj["kind"]
+        cls = {"Scalar": Scalar, "Array": Array, "Stream": Stream, "View": View}[kind]
+        shape = [Range.from_string(s).dims[0][0] for s in obj["shape"]]
+        kwargs = dict(
+            dtype=typeclass.from_json(obj["dtype"]),
+            transient=obj["transient"],
+            storage=StorageType(obj["storage"]),
+            lifetime=AllocationLifetime(obj["lifetime"]),
+        )
+        if cls is Scalar:
+            return Scalar(**kwargs)
+        if cls is Stream:
+            return Stream(shape=shape, buffer_size=obj.get("buffer_size", 0), **kwargs)
+        return cls(shape=shape, **kwargs)
+
+
+class Scalar(Data):
+    """A single scalar value."""
+
+    def __init__(self, dtype, transient: bool = False,
+                 storage: StorageType = StorageType.Default,
+                 lifetime: AllocationLifetime = AllocationLifetime.Scope):
+        super().__init__(dtype, (1,), transient, storage, lifetime)
+
+    @property
+    def ndim(self) -> int:
+        return 0
+
+    def as_annotation_str(self) -> str:
+        return self.dtype.name
+
+
+class Array(Data):
+    """An N-dimensional strided array (the NumPy-compatible container)."""
+
+    def __init__(self, dtype, shape, transient: bool = False,
+                 storage: StorageType = StorageType.Default,
+                 lifetime: AllocationLifetime = AllocationLifetime.Scope,
+                 strides: Optional[Sequence[Union[int, Expr]]] = None):
+        super().__init__(dtype, shape, transient, storage, lifetime)
+        if strides is None:
+            strides = _contiguous_strides(self.shape)
+        self.strides: Tuple[Expr, ...] = tuple(sympify(s) for s in strides)
+
+    def to_json(self) -> dict:
+        obj = super().to_json()
+        obj["strides"] = [str(s) for s in self.strides]
+        return obj
+
+
+class View(Array):
+    """A reinterpretation of another container (no copy; native to the IR).
+
+    The paper credits "view semantics being native to the SDFG" for stencil
+    improvements; views let slices flow through the graph without copies.
+    """
+
+
+class Stream(Data):
+    """A FIFO queue container (used by FPGA streaming composition, §3.1)."""
+
+    def __init__(self, dtype, shape=(1,), buffer_size: int = 0, transient: bool = True,
+                 storage: StorageType = StorageType.Default,
+                 lifetime: AllocationLifetime = AllocationLifetime.Scope):
+        super().__init__(dtype, shape, transient, storage, lifetime)
+        self.buffer_size = int(buffer_size)
+
+    def to_json(self) -> dict:
+        obj = super().to_json()
+        obj["buffer_size"] = self.buffer_size
+        return obj
+
+
+def _contiguous_strides(shape: Tuple[Expr, ...]) -> Tuple[Expr, ...]:
+    strides = []
+    acc: Expr = Integer(1)
+    for dim in reversed(shape):
+        strides.append(acc)
+        acc = acc * dim
+    return tuple(reversed(strides))

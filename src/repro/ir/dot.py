@@ -1,0 +1,76 @@
+"""Graphviz (DOT) export of SDFGs, mirroring the paper's figures:
+oval access nodes, octagon tasklets, trapezoid map entry/exit, folded
+rectangles for library nodes, and blue interstate edges."""
+
+from __future__ import annotations
+
+from .nodes import AccessNode, LibraryNode, MapEntry, MapExit, NestedSDFG, Tasklet
+
+__all__ = ["sdfg_to_dot"]
+
+_SHAPES = {
+    AccessNode: ("ellipse", "white"),
+    Tasklet: ("octagon", "white"),
+    MapEntry: ("trapezium", "lightyellow"),
+    MapExit: ("invtrapezium", "lightyellow"),
+    LibraryNode: ("folder", "lightgrey"),
+    NestedSDFG: ("box", "lightcyan"),
+}
+
+
+def _node_style(node) -> str:
+    for cls, (shape, fill) in _SHAPES.items():
+        if isinstance(node, cls):
+            return f'shape={shape}, style=filled, fillcolor="{fill}"'
+    return "shape=box"
+
+
+def _node_label(node) -> str:
+    if isinstance(node, AccessNode):
+        return node.data
+    if isinstance(node, (MapEntry, MapExit)):
+        return f"{node.label}[{', '.join(node.map.params)}] in [{node.map.range}]"
+    return node.label or type(node).__name__
+
+
+def sdfg_to_dot(sdfg) -> str:
+    """Render the SDFG to DOT text (one cluster per state)."""
+    lines = [f'digraph "{sdfg.name}" {{', "  compound=true;"]
+    node_ids = {}
+    counter = 0
+    state_anchor = {}
+    for si, state in enumerate(sdfg.states()):
+        lines.append(f"  subgraph cluster_{si} {{")
+        lines.append(f'    label="{state.label}"; color=blue; bgcolor="#eef6ff";')
+        anchor = None
+        for node in state.nodes():
+            node_ids[node] = f"n{counter}"
+            counter += 1
+            label = _node_label(node).replace('"', "'")
+            lines.append(f'    {node_ids[node]} [label="{label}", {_node_style(node)}];')
+            if anchor is None:
+                anchor = node_ids[node]
+        if anchor is None:  # empty state still needs an anchor for edges
+            anchor = f"n{counter}"
+            counter += 1
+            lines.append(f'    {anchor} [label="", shape=point];')
+        state_anchor[state] = anchor
+        for edge in state.edges():
+            label = "" if edge.memlet.is_empty() else str(edge.memlet)[7:-1]
+            label = label.replace('"', "'")
+            style = ', style=dashed' if edge.memlet.wcr else ""
+            lines.append(
+                f'    {node_ids[edge.src]} -> {node_ids[edge.dst]} '
+                f'[label="{label}"{style}];')
+        lines.append("  }")
+    for isedge in sdfg.edges():
+        cond = isedge.data.condition or ""
+        assign = "; ".join(f"{k}={v}" for k, v in isedge.data.assignments.items())
+        label = "; ".join(x for x in (cond, assign) if x).replace('"', "'")
+        si = sdfg.states().index(isedge.src)
+        di = sdfg.states().index(isedge.dst)
+        lines.append(
+            f'  {state_anchor[isedge.src]} -> {state_anchor[isedge.dst]} '
+            f'[label="{label}", color=blue, ltail=cluster_{si}, lhead=cluster_{di}];')
+    lines.append("}")
+    return "\n".join(lines)

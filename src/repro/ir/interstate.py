@@ -1,0 +1,73 @@
+"""Interstate edges: control flow between SDFG states.
+
+Conditions and assignments on these edges express loops, branches, and state
+machines (Table 1 of the paper).  Conditions are Python expressions over SDFG
+symbols and scalar containers; assignments update symbols when the edge is
+taken.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+__all__ = ["InterstateEdge"]
+
+
+class InterstateEdge:
+    """A state transition with an optional condition and symbol assignments."""
+
+    def __init__(self, condition: Optional[str] = None,
+                 assignments: Optional[Mapping[str, str]] = None):
+        self.condition = condition  # Python expression string or None (always taken)
+        self.assignments: Dict[str, str] = dict(assignments or {})
+        self._cond_code = compile(condition, "<interstate>", "eval") if condition else None
+        self._assign_code = {
+            k: compile(v, "<interstate>", "eval") for k, v in self.assignments.items()
+        }
+
+    def is_unconditional(self) -> bool:
+        return self.condition is None
+
+    def evaluate_condition(self, env: Mapping[str, object]) -> bool:
+        if self._cond_code is None:
+            return True
+        return bool(eval(self._cond_code, {"__builtins__": _SAFE_BUILTINS}, dict(env)))
+
+    def apply_assignments(self, env: Dict[str, object]) -> None:
+        # Evaluate all right-hand sides against the *pre*-edge environment,
+        # then commit (simultaneous assignment semantics).
+        updates = {
+            k: eval(code, {"__builtins__": _SAFE_BUILTINS}, dict(env))
+            for k, code in self._assign_code.items()
+        }
+        env.update(updates)
+
+    @property
+    def free_symbols(self) -> frozenset:
+        names = set()
+        if self._cond_code is not None:
+            names |= set(self._cond_code.co_names)
+        for code in self._assign_code.values():
+            names |= set(code.co_names)
+        return frozenset(names - set(_SAFE_BUILTINS))
+
+    def clone(self) -> "InterstateEdge":
+        return InterstateEdge(self.condition, dict(self.assignments))
+
+    def __repr__(self) -> str:
+        cond = self.condition or "True"
+        assign = ", ".join(f"{k}={v}" for k, v in self.assignments.items())
+        return f"InterstateEdge(if {cond}; {assign})"
+
+    def to_json(self) -> dict:
+        return {"condition": self.condition, "assignments": dict(self.assignments)}
+
+    @staticmethod
+    def from_json(obj: dict) -> "InterstateEdge":
+        return InterstateEdge(obj["condition"], obj["assignments"])
+
+
+_SAFE_BUILTINS = {
+    "abs": abs, "min": min, "max": max, "int": int, "float": float, "bool": bool,
+    "len": len, "range": range,
+}

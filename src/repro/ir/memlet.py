@@ -1,0 +1,142 @@
+"""Memlets: explicit data-movement edges.
+
+A memlet describes *what part* of a data container moves along an edge
+(second data-centric tenet).  It carries the container name, a symbolic
+subset, an optional write-conflict resolution (WCR) function for concurrent
+writes, and an optional ``other_subset`` describing the destination layout
+for copy edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..symbolic import Expr, Range, sympify
+
+__all__ = ["Memlet"]
+
+#: WCR functions supported by the runtime and models (a subset of DaCe's
+#: arbitrary lambdas, covering the reductions in the evaluated corpus).
+WCR_FUNCTIONS = ("sum", "prod", "min", "max", "logical_and", "logical_or")
+
+
+class Memlet:
+    """Data movement along one dataflow edge."""
+
+    def __init__(
+        self,
+        data: Optional[str] = None,
+        subset: Optional[Union[Range, str]] = None,
+        wcr: Optional[str] = None,
+        other_subset: Optional[Union[Range, str]] = None,
+        dynamic: bool = False,
+        squeeze: Optional[tuple] = None,
+    ):
+        if isinstance(subset, str):
+            subset = Range.from_string(subset)
+        if isinstance(other_subset, str):
+            other_subset = Range.from_string(other_subset)
+        if wcr is not None and wcr not in WCR_FUNCTIONS:
+            raise ValueError(f"unsupported WCR function {wcr!r}; expected one of {WCR_FUNCTIONS}")
+        self.data = data
+        self.subset = subset
+        self.wcr = wcr
+        self.other_subset = other_subset
+        #: dynamic memlets have data-dependent volume (e.g. indirect access)
+        self.dynamic = bool(dynamic)
+        #: subset axes dropped on read (set when a squeezing copy is
+        #: composed away by redundant-copy removal)
+        self.squeeze = tuple(squeeze) if squeeze else None
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def simple(cls, data: str, subset: Union[Range, str], wcr: Optional[str] = None) -> "Memlet":
+        return cls(data=data, subset=subset, wcr=wcr)
+
+    @classmethod
+    def from_array(cls, data: str, desc) -> "Memlet":
+        """Full-array memlet for a data descriptor."""
+        return cls(data=data, subset=Range.from_shape(desc.shape))
+
+    @classmethod
+    def empty(cls) -> "Memlet":
+        """An empty memlet (pure ordering dependency, no data movement)."""
+        return cls(data=None, subset=None)
+
+    # -- queries -----------------------------------------------------------
+    def is_empty(self) -> bool:
+        return self.data is None
+
+    def volume(self) -> Expr:
+        """Number of elements moved (symbolic)."""
+        if self.is_empty():
+            return sympify(0)
+        assert self.subset is not None
+        return self.subset.volume()
+
+    def num_elements(self, env=None) -> int:
+        return self.volume().evaluate(env) if not self.is_empty() else 0
+
+    @property
+    def free_symbols(self) -> frozenset:
+        out: frozenset = frozenset()
+        if self.subset is not None:
+            out |= self.subset.free_symbols
+        if self.other_subset is not None:
+            out |= self.other_subset.free_symbols
+        return out
+
+    def subs(self, env) -> "Memlet":
+        return Memlet(
+            data=self.data,
+            subset=self.subset.subs(env) if self.subset is not None else None,
+            wcr=self.wcr,
+            other_subset=self.other_subset.subs(env) if self.other_subset is not None else None,
+            dynamic=self.dynamic,
+            squeeze=self.squeeze,
+        )
+
+    def clone(self) -> "Memlet":
+        return Memlet(self.data, self.subset, self.wcr, self.other_subset,
+                      self.dynamic, self.squeeze)
+
+    # -- protocol ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memlet):
+            return NotImplemented
+        return (
+            self.data == other.data
+            and self.subset == other.subset
+            and self.wcr == other.wcr
+            and self.other_subset == other.other_subset
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.data, self.subset, self.wcr, self.other_subset))
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "Memlet(empty)"
+        wcr = f", wcr={self.wcr}" if self.wcr else ""
+        other = f" -> [{self.other_subset}]" if self.other_subset is not None else ""
+        return f"Memlet({self.data}[{self.subset}]{other}{wcr})"
+
+    # -- serialization -------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "data": self.data,
+            "subset": str(self.subset) if self.subset is not None else None,
+            "wcr": self.wcr,
+            "other_subset": str(self.other_subset) if self.other_subset is not None else None,
+            "dynamic": self.dynamic,
+        }
+
+    @staticmethod
+    def from_json(obj: dict) -> "Memlet":
+        return Memlet(
+            data=obj["data"],
+            subset=obj["subset"],
+            wcr=obj["wcr"],
+            other_subset=obj["other_subset"],
+            dynamic=obj.get("dynamic", False),
+        )

@@ -1,0 +1,250 @@
+"""SDFG graph nodes: access nodes, tasklets, map scopes, library nodes,
+nested SDFGs.
+
+Node objects are identity-hashed; a node instance belongs to exactly one
+state.  Dataflow edges between nodes attach to *connectors* — named ports on
+code nodes.  Map entry/exit nodes use the ``IN_x`` / ``OUT_x`` connector
+convention to route data through the scope.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..symbolic import Range
+
+__all__ = [
+    "ScheduleType",
+    "Node",
+    "AccessNode",
+    "CodeNode",
+    "Tasklet",
+    "Map",
+    "MapEntry",
+    "MapExit",
+    "NestedSDFG",
+    "LibraryNode",
+]
+
+
+class ScheduleType(enum.Enum):
+    """How a map scope executes; set by device transformations."""
+
+    Default = "Default"
+    Sequential = "Sequential"
+    CPU_Multicore = "CPU_Multicore"
+    GPU_Device = "GPU_Device"
+    FPGA_Pipeline = "FPGA_Pipeline"
+
+
+class Node:
+    """Base class for all state-graph nodes (identity-hashed)."""
+
+    def __init__(self, label: str = ""):
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.label})"
+
+    def to_json(self) -> dict:
+        return {"kind": type(self).__name__, "label": self.label}
+
+
+class AccessNode(Node):
+    """Reference to a data container (oval node in the paper's figures)."""
+
+    def __init__(self, data: str):
+        super().__init__(data)
+        self.data = data
+
+    def to_json(self) -> dict:
+        obj = super().to_json()
+        obj["data"] = self.data
+        return obj
+
+
+class CodeNode(Node):
+    """Base for nodes with named input/output connectors."""
+
+    def __init__(self, label: str, inputs: Iterable[str] = (), outputs: Iterable[str] = ()):
+        super().__init__(label)
+        self.in_connectors: Set[str] = set(inputs)
+        self.out_connectors: Set[str] = set(outputs)
+
+    def add_in_connector(self, name: str) -> None:
+        self.in_connectors.add(name)
+
+    def add_out_connector(self, name: str) -> None:
+        self.out_connectors.add(name)
+
+
+class Tasklet(CodeNode):
+    """Stateless computation (octagon).  ``code`` is Python statements over
+    the connector names, e.g. ``"__out = alpha * __in"``."""
+
+    def __init__(self, label: str, inputs: Iterable[str], outputs: Iterable[str],
+                 code: str, side_effect_free: bool = True):
+        super().__init__(label, inputs, outputs)
+        self.code = code
+        self.side_effect_free = side_effect_free
+
+    def to_json(self) -> dict:
+        obj = super().to_json()
+        obj.update({
+            "inputs": sorted(self.in_connectors),
+            "outputs": sorted(self.out_connectors),
+            "code": self.code,
+        })
+        return obj
+
+
+class Map:
+    """A parametric-parallel iteration space shared by a MapEntry/MapExit pair."""
+
+    def __init__(self, label: str, params: Sequence[str], rng: Range,
+                 schedule: ScheduleType = ScheduleType.Default,
+                 collapse: int = 1, tile_sizes: Optional[Sequence[int]] = None):
+        if len(params) != rng.ndim:
+            raise ValueError(
+                f"map {label!r}: {len(params)} parameters vs {rng.ndim}-d range")
+        self.label = label
+        self.params: Tuple[str, ...] = tuple(params)
+        self.range = rng
+        self.schedule = schedule
+        self.collapse = collapse          # OpenMP collapse analogue (§3.1 CPU)
+        self.tile_sizes = tuple(tile_sizes) if tile_sizes else None
+
+    def __repr__(self) -> str:
+        return f"Map({self.label}: [{', '.join(self.params)}] in [{self.range}])"
+
+
+class MapEntry(CodeNode):
+    """Scope-opening node of a map.  Data enters via ``IN_x`` connectors and
+    is served to the scope body through matching ``OUT_x`` connectors."""
+
+    def __init__(self, map_obj: Map):
+        super().__init__(map_obj.label)
+        self.map = map_obj
+        self._exit: Optional["MapExit"] = None
+
+    @property
+    def exit_node(self) -> "MapExit":
+        assert self._exit is not None, "MapEntry not paired with a MapExit"
+        return self._exit
+
+    def to_json(self) -> dict:
+        obj = super().to_json()
+        obj.update({
+            "params": list(self.map.params),
+            "range": str(self.map.range),
+            "schedule": self.map.schedule.value,
+        })
+        return obj
+
+
+class MapExit(CodeNode):
+    """Scope-closing node of a map (collects scope outputs)."""
+
+    def __init__(self, map_obj: Map):
+        super().__init__(map_obj.label)
+        self.map = map_obj
+        self._entry: Optional[MapEntry] = None
+
+    @property
+    def entry_node(self) -> MapEntry:
+        assert self._entry is not None, "MapExit not paired with a MapEntry"
+        return self._entry
+
+    def to_json(self) -> dict:
+        obj = super().to_json()
+        obj["params"] = list(self.map.params)
+        return obj
+
+
+def make_map_scope(label: str, params: Sequence[str], rng: Range,
+                   schedule: ScheduleType = ScheduleType.Default) -> Tuple[MapEntry, MapExit]:
+    """Create a paired entry/exit for a new map."""
+    map_obj = Map(label, params, rng, schedule)
+    entry = MapEntry(map_obj)
+    exit_ = MapExit(map_obj)
+    entry._exit = exit_
+    exit_._entry = entry
+    return entry, exit_
+
+
+class NestedSDFG(CodeNode):
+    """A call to another SDFG (rectangle).  Connector names map to the inner
+    SDFG's argument containers; ``symbol_mapping`` binds inner symbols to
+    outer symbolic expressions."""
+
+    def __init__(self, label: str, sdfg, inputs: Iterable[str], outputs: Iterable[str],
+                 symbol_mapping: Optional[Dict[str, object]] = None):
+        super().__init__(label, inputs, outputs)
+        self.sdfg = sdfg
+        self.symbol_mapping: Dict[str, object] = dict(symbol_mapping or {})
+
+    def to_json(self) -> dict:
+        obj = super().to_json()
+        obj.update({
+            "inputs": sorted(self.in_connectors),
+            "outputs": sorted(self.out_connectors),
+            "sdfg": self.sdfg.to_json(),
+            "symbol_mapping": {k: str(v) for k, v in self.symbol_mapping.items()},
+        })
+        return obj
+
+
+class LibraryNode(CodeNode):
+    """Call to an external library (folded rectangle), e.g. MatMul.
+
+    A library node can be *expanded* into one of several registered
+    implementations (§3.2): a fast-library tasklet, an optimized subgraph, or
+    a native SDFG.  Until expanded, the reference runtime executes it through
+    :meth:`compute`.
+    """
+
+    #: name -> callable(node, sdfg, state) performing in-place expansion;
+    #: populated per subclass by repro.library.registry.register_expansion.
+    implementations: Dict[str, object] = {}
+    #: platform -> ordered list of implementation names to try (§3.2).
+    default_priority: Dict[str, List[str]] = {}
+
+    def __init__(self, label: str, inputs: Iterable[str], outputs: Iterable[str]):
+        super().__init__(label, inputs, outputs)
+        self.implementation: Optional[str] = None  # chosen expansion, if any
+
+    # Functional execution (reference runtime) --------------------------
+    def compute(self, inputs: Dict[str, object], env: Dict[str, int]) -> Dict[str, object]:
+        """Compute outputs from inputs (NumPy arrays/scalars)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement direct computation")
+
+    # Cost accounting (performance models) -------------------------------
+    def flop_count(self, env: Dict[str, int]) -> int:
+        """Floating-point operations performed (for the device models)."""
+        return 0
+
+    def expand(self, sdfg, state, implementation: Optional[str] = None):
+        """Replace this node in *state* with the chosen implementation."""
+        impls = type(self).implementations
+        if implementation is None:
+            for name in type(self).default_priority.get("CPU", list(impls)):
+                if name in impls:
+                    implementation = name
+                    break
+        if implementation is None or implementation not in impls:
+            raise KeyError(
+                f"no implementation {implementation!r} registered for "
+                f"{type(self).__name__} (have: {sorted(impls)})")
+        self.implementation = implementation
+        return impls[implementation](self, sdfg, state)
+
+    def to_json(self) -> dict:
+        obj = super().to_json()
+        obj.update({
+            "inputs": sorted(self.in_connectors),
+            "outputs": sorted(self.out_connectors),
+            "implementation": self.implementation,
+        })
+        return obj

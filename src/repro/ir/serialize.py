@@ -1,0 +1,85 @@
+"""SDFG JSON deserialization (serialization lives on the IR classes)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .data import Data
+from .interstate import InterstateEdge
+from .memlet import Memlet
+from .nodes import (
+    AccessNode,
+    NestedSDFG,
+    Node,
+    ScheduleType,
+    Tasklet,
+    make_map_scope,
+)
+from .sdfg import SDFG
+from .state import SDFGState
+from ..symbolic import Range
+
+__all__ = ["sdfg_from_json", "state_from_json"]
+
+
+def sdfg_from_json(obj: dict) -> SDFG:
+    sdfg = SDFG(obj["name"])
+    for name, desc_obj in obj["arrays"].items():
+        sdfg.add_datadesc(name, Data.from_json(desc_obj))
+    for sym in obj.get("symbols", []):
+        sdfg.add_symbol(sym)
+    sdfg.arg_names = list(obj.get("arg_names", []))
+    states = []
+    for state_obj in obj["states"]:
+        state = sdfg.add_state(state_obj["label"])
+        state_from_json(state, state_obj)
+        states.append(state)
+    start = obj.get("start_state")
+    if start is not None:
+        sdfg.start_state = states[start]
+    for edge_obj in obj.get("edges", []):
+        sdfg.add_edge(states[edge_obj["src"]], states[edge_obj["dst"]],
+                      InterstateEdge.from_json(edge_obj["data"]))
+    return sdfg
+
+
+def state_from_json(state: SDFGState, obj: dict) -> SDFGState:
+    nodes: Dict[int, Node] = {}
+    pending_exits = {}
+    for i, node_obj in enumerate(obj["nodes"]):
+        kind = node_obj["kind"]
+        if kind == "AccessNode":
+            node = AccessNode(node_obj["data"])
+        elif kind == "Tasklet":
+            node = Tasklet(node_obj["label"], node_obj["inputs"],
+                           node_obj["outputs"], node_obj["code"])
+        elif kind == "MapEntry":
+            entry, exit_ = make_map_scope(
+                node_obj["label"], node_obj["params"],
+                Range.from_string(node_obj["range"]),
+                ScheduleType(node_obj.get("schedule", "Default")))
+            pending_exits[node_obj["label"]] = (entry, exit_)
+            node = entry
+        elif kind == "MapExit":
+            entry, exit_ = pending_exits[node_obj["label"]]
+            node = exit_
+        elif kind == "NestedSDFG":
+            node = NestedSDFG(node_obj["label"],
+                              sdfg_from_json(node_obj["sdfg"]),
+                              node_obj["inputs"], node_obj["outputs"])
+        else:
+            raise ValueError(
+                f"cannot deserialize node kind {kind!r} (library nodes must "
+                f"be expanded before serialization)")
+        nodes[i] = node
+        state.add_node(node)
+    for edge_obj in obj["edges"]:
+        src = nodes[edge_obj["src"]]
+        dst = nodes[edge_obj["dst"]]
+        if edge_obj["src_conn"]:
+            src.add_out_connector(edge_obj["src_conn"])
+        if edge_obj["dst_conn"]:
+            dst.add_in_connector(edge_obj["dst_conn"])
+        state.add_edge(src, edge_obj["src_conn"], dst, edge_obj["dst_conn"],
+                       Memlet.from_json(edge_obj["memlet"]))
+    return state

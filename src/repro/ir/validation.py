@@ -1,0 +1,152 @@
+"""SDFG validation: structural invariants of the data-centric IR.
+
+Raises :class:`InvalidSDFGError` describing the first violated invariant.
+Run after the frontend and (configurably) after every transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .data import Scalar, Stream
+from .memlet import Memlet
+from .nodes import (
+    AccessNode,
+    CodeNode,
+    LibraryNode,
+    MapEntry,
+    MapExit,
+    NestedSDFG,
+    Tasklet,
+)
+
+__all__ = ["InvalidSDFGError", "validate_sdfg", "validate_state"]
+
+
+class InvalidSDFGError(ValueError):
+    """An SDFG invariant is violated."""
+
+    def __init__(self, message: str, sdfg=None, state=None, node=None):
+        location = []
+        if sdfg is not None:
+            location.append(f"sdfg={sdfg.name!r}")
+        if state is not None:
+            location.append(f"state={state.label!r}")
+        if node is not None:
+            location.append(f"node={node!r}")
+        suffix = f" ({', '.join(location)})" if location else ""
+        super().__init__(message + suffix)
+        self.sdfg = sdfg
+        self.state = state
+        self.node = node
+
+
+def validate_sdfg(sdfg) -> None:
+    if sdfg.start_state is None and sdfg.number_of_states() > 0:
+        raise InvalidSDFGError("SDFG has states but no start state", sdfg=sdfg)
+    labels = [s.label for s in sdfg.states()]
+    if len(labels) != len(set(labels)):
+        raise InvalidSDFGError("duplicate state labels", sdfg=sdfg)
+    for isedge in sdfg.edges():
+        for name in isedge.data.free_symbols:
+            if name not in sdfg.symbols and name not in sdfg.arrays:
+                # allowed: loop variables assigned on other edges
+                assigned = any(name in e.data.assignments for e in sdfg.edges())
+                if not assigned:
+                    raise InvalidSDFGError(
+                        f"interstate edge references unknown symbol {name!r}",
+                        sdfg=sdfg)
+    for state in sdfg.states():
+        validate_state(state, sdfg)
+
+
+def validate_state(state, sdfg=None) -> None:
+    sdfg = sdfg or state.sdfg
+    if not state.is_acyclic():
+        raise InvalidSDFGError("state dataflow graph contains a cycle",
+                               sdfg=sdfg, state=state)
+
+    for node in state.nodes():
+        if isinstance(node, AccessNode):
+            if sdfg is not None and node.data not in sdfg.arrays:
+                raise InvalidSDFGError(
+                    f"access node refers to undeclared container {node.data!r}",
+                    sdfg=sdfg, state=state, node=node)
+        if isinstance(node, MapEntry):
+            if node.exit_node not in state:
+                raise InvalidSDFGError("MapEntry without its MapExit in state",
+                                       sdfg=sdfg, state=state, node=node)
+            for conn in node.in_connectors:
+                if not conn.startswith("IN_"):
+                    raise InvalidSDFGError(
+                        f"MapEntry in-connector {conn!r} must start with IN_",
+                        sdfg=sdfg, state=state, node=node)
+        if isinstance(node, MapExit):
+            if node.entry_node not in state:
+                raise InvalidSDFGError("MapExit without its MapEntry in state",
+                                       sdfg=sdfg, state=state, node=node)
+        if isinstance(node, Tasklet):
+            if not node.code or not isinstance(node.code, str):
+                raise InvalidSDFGError("tasklet with empty code",
+                                       sdfg=sdfg, state=state, node=node)
+        if isinstance(node, NestedSDFG):
+            node.sdfg.validate()
+            for conn in node.in_connectors | node.out_connectors:
+                if conn not in node.sdfg.arrays:
+                    raise InvalidSDFGError(
+                        f"nested SDFG connector {conn!r} has no matching "
+                        f"container in the nested SDFG", sdfg=sdfg, state=state,
+                        node=node)
+
+    # Connector/edge consistency
+    for edge in state.edges():
+        _validate_edge(edge, state, sdfg)
+
+    # Dangling connectors: every connector must have at least one edge
+    for node in state.nodes():
+        if not isinstance(node, CodeNode):
+            continue
+        in_used = {e.dst_conn for e in state.in_edges(node)}
+        out_used = {e.src_conn for e in state.out_edges(node)}
+        for conn in node.in_connectors - in_used:
+            raise InvalidSDFGError(f"dangling input connector {conn!r}",
+                                   sdfg=sdfg, state=state, node=node)
+        for conn in node.out_connectors - out_used:
+            raise InvalidSDFGError(f"dangling output connector {conn!r}",
+                                   sdfg=sdfg, state=state, node=node)
+
+
+def _validate_edge(edge, state, sdfg) -> None:
+    memlet: Memlet = edge.memlet
+    # connector existence
+    if edge.src_conn is not None:
+        if not isinstance(edge.src, CodeNode) or edge.src_conn not in edge.src.out_connectors:
+            raise InvalidSDFGError(
+                f"edge uses missing source connector {edge.src_conn!r}",
+                sdfg=sdfg, state=state, node=edge.src)
+    if edge.dst_conn is not None:
+        if not isinstance(edge.dst, CodeNode) or edge.dst_conn not in edge.dst.in_connectors:
+            raise InvalidSDFGError(
+                f"edge uses missing destination connector {edge.dst_conn!r}",
+                sdfg=sdfg, state=state, node=edge.dst)
+    if memlet.is_empty():
+        return
+    if sdfg is None:
+        return
+    if memlet.data not in sdfg.arrays:
+        raise InvalidSDFGError(
+            f"memlet refers to undeclared container {memlet.data!r}",
+            sdfg=sdfg, state=state)
+    desc = sdfg.arrays[memlet.data]
+    if memlet.subset is not None and not isinstance(desc, (Scalar, Stream)):
+        if memlet.subset.ndim != desc.ndim:
+            raise InvalidSDFGError(
+                f"memlet subset [{memlet.subset}] has {memlet.subset.ndim} "
+                f"dimensions but container {memlet.data!r} has {desc.ndim}",
+                sdfg=sdfg, state=state)
+    # memlets between two access nodes must name one of the two containers
+    if isinstance(edge.src, AccessNode) and isinstance(edge.dst, AccessNode):
+        if memlet.data not in (edge.src.data, edge.dst.data):
+            raise InvalidSDFGError(
+                "copy memlet names neither endpoint container",
+                sdfg=sdfg, state=state)

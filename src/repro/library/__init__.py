@@ -1,0 +1,7 @@
+"""Library nodes and their platform-specialized expansions (§3.2)."""
+
+from .blas import MatMul, Outer
+from .reduce import Reduce
+from .registry import register_expansion, set_priority
+
+__all__ = ["MatMul", "Outer", "Reduce", "register_expansion", "set_priority"]

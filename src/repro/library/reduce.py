@@ -1,0 +1,119 @@
+"""Reduce library node: full or per-axis reductions with a WCR function.
+
+``np.sum(A)`` and friends lower to this node.  The ``native`` expansion
+produces the canonical map-with-WCR subgraph; the ``library`` expansion is a
+fast tasklet calling the vectorized NumPy reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..ir.memlet import Memlet
+from ..ir.nodes import LibraryNode
+from ..runtime.wcr import WCR_UFUNC
+from ..symbolic import Range
+from .registry import register_expansion, set_priority
+
+__all__ = ["Reduce"]
+
+
+class Reduce(LibraryNode):
+    """Reduction over all or selected axes.
+
+    Connectors: ``_in`` -> ``_out``.  ``wcr`` is one of the supported WCR
+    function names; ``axes`` is None (full reduction) or a tuple of axes.
+    """
+
+    implementations: Dict[str, object] = {}
+    default_priority: Dict[str, list] = {}
+
+    def __init__(self, wcr: str = "sum", axes: Optional[Tuple[int, ...]] = None,
+                 label: str = "Reduce"):
+        super().__init__(label, inputs=("_in",), outputs=("_out",))
+        if wcr not in WCR_UFUNC:
+            raise ValueError(f"unsupported reduction {wcr!r}")
+        self.wcr = wcr
+        self.axes = tuple(axes) if axes is not None else None
+
+    def compute(self, inputs, env):
+        data = np.asarray(inputs["_in"])
+        ufunc = WCR_UFUNC[self.wcr]
+        axes = self.axes if self.axes is not None else tuple(range(data.ndim))
+        result = data
+        for axis in sorted(axes, reverse=True):
+            result = ufunc.reduce(result, axis=axis)
+        return {"_out": result}
+
+    def flop_count(self, env) -> int:
+        shape = env.get("_in_shape")
+        if not shape:
+            return 0
+        total = 1
+        for s in shape:
+            total *= s
+        return total
+
+    def to_json(self) -> dict:
+        obj = super().to_json()
+        obj.update({"wcr": self.wcr, "axes": self.axes})
+        return obj
+
+
+@register_expansion(Reduce, "library")
+def _expand_reduce_library(node: Reduce, sdfg, state):
+    ins = {e.dst_conn: e for e in state.in_edges(node) if e.dst_conn}
+    outs = {e.src_conn: e for e in state.out_edges(node) if e.src_conn}
+    np_name = {"sum": "add", "prod": "multiply", "min": "minimum", "max": "maximum",
+               "logical_and": "logical_and", "logical_or": "logical_or"}[node.wcr]
+    if node.axes is None:
+        code = f"_out = np.{np_name}.reduce(np.asarray(_in), axis=None)"
+    else:
+        code = f"_out = np.asarray(_in)"
+        for axis in sorted(node.axes, reverse=True):
+            code += f"\n_out = np.{np_name}.reduce(_out, axis={axis})"
+    tasklet = state.add_tasklet(f"{node.label}_lib", {"_in"}, {"_out"}, code)
+    state.add_edge(ins["_in"].src, ins["_in"].src_conn, tasklet, "_in", ins["_in"].memlet)
+    state.add_edge(tasklet, "_out", outs["_out"].dst, outs["_out"].dst_conn,
+                   outs["_out"].memlet)
+    state.remove_node(node)
+    return tasklet
+
+
+@register_expansion(Reduce, "native")
+def _expand_reduce_native(node: Reduce, sdfg, state):
+    """Map over the input space with a WCR memlet to the output."""
+    ins = {e.dst_conn: e for e in state.in_edges(node) if e.dst_conn}
+    outs = {e.src_conn: e for e in state.out_edges(node) if e.src_conn}
+    in_name = ins["_in"].memlet.data
+    out_name = outs["_out"].memlet.data
+    in_desc = sdfg.arrays[in_name]
+    params = [f"__r{i}" for i in range(in_desc.ndim)]
+    rng = Range([(0, s - 1, 1) for s in in_desc.shape])
+    axes = node.axes if node.axes is not None else tuple(range(in_desc.ndim))
+    out_indices = [params[i] for i in range(in_desc.ndim) if i not in axes]
+    out_subset = (Range.from_string(", ".join(out_indices))
+                  if out_indices else Range.from_string("0"))
+    dims = {p: rng.dims[i] for i, p in enumerate(params)}
+    tasklet, entry, exit_ = state.add_mapped_tasklet(
+        f"{node.label}_native", dims,
+        {"__v": Memlet(in_name, Range.from_string(", ".join(params)))},
+        "__out = __v",
+        {"__out": Memlet(out_name, out_subset, wcr=node.wcr)},
+        input_nodes={in_name: ins["_in"].src if ins["_in"].src_conn is None else None},
+        output_nodes={out_name: outs["_out"].dst if outs["_out"].dst_conn is None else None},
+    )
+    from ..runtime.wcr import WCR_IDENTITY
+    from .blas import _prepend_wcr_init
+
+    _prepend_wcr_init(sdfg, state, out_name, entry,
+                      identity=WCR_IDENTITY[node.wcr])
+    state.remove_node(node)
+    return tasklet
+
+
+set_priority(Reduce, "CPU", ["library", "native"])
+set_priority(Reduce, "GPU", ["native", "library"])
+set_priority(Reduce, "FPGA", ["native"])

@@ -1,0 +1,38 @@
+"""Library-node expansion registry (§3.2).
+
+An *expansion* replaces a library node with an implementation: a fast-library
+tasklet, an optimized subgraph, or a native SDFG subgraph.  Expansions are
+registered per node class under a name, and each platform carries a priority
+list; the automatic heuristics walk the list and use the first expansion that
+applies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from ..ir.nodes import LibraryNode
+
+__all__ = ["register_expansion", "set_priority"]
+
+
+def register_expansion(node_cls: Type[LibraryNode], name: str) -> Callable:
+    """Class decorator usage::
+
+        @register_expansion(MatMul, "MKL")
+        def expand_mkl(node, sdfg, state): ...
+    """
+
+    def decorator(func: Callable) -> Callable:
+        if "implementations" not in vars(node_cls):
+            node_cls.implementations = {}
+        node_cls.implementations[name] = func
+        return func
+
+    return decorator
+
+
+def set_priority(node_cls: Type[LibraryNode], platform: str, names: List[str]) -> None:
+    if "default_priority" not in vars(node_cls):
+        node_cls.default_priority = {}
+    node_cls.default_priority[platform] = list(names)

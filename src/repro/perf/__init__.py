@@ -1,0 +1,9 @@
+"""Measurement kit: timing, statistics [39, 27], and paper-style reports."""
+
+from .report import runtime_series, scaling_table, speedup_table
+from .stats import Measurement, bootstrap_ci, geomean, median_ci, summarize
+from .timing import measure, measure_callable
+
+__all__ = ["Measurement", "median_ci", "bootstrap_ci", "geomean", "summarize",
+           "measure", "measure_callable", "speedup_table", "runtime_series",
+           "scaling_table"]

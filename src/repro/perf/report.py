@@ -1,0 +1,105 @@
+"""Paper-style result rendering: the rows/series of each figure and table.
+
+Benchmarks print these so the harness output can be compared side-by-side
+with the paper's artifacts (EXPERIMENTS.md records the comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .stats import geomean
+
+__all__ = ["speedup_table", "runtime_series", "scaling_table"]
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.3f} us"
+
+
+def speedup_table(rows: Dict[str, Dict[str, float]], baseline: str,
+                  title: str = "") -> str:
+    """Fig. 7-style table: per benchmark, the baseline runtime and each
+    framework's speedup over it; geometric-mean summary on top."""
+    frameworks = sorted({fw for r in rows.values() for fw in r} - {baseline})
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'benchmark':<22}" + "".join(f"{fw:>12}" for fw in frameworks) \
+        + f"{baseline + ' time':>16}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    speedups: Dict[str, List[float]] = {fw: [] for fw in frameworks}
+    for name, row in sorted(rows.items()):
+        base = row.get(baseline)
+        if base is None or base <= 0:
+            continue
+        cells = []
+        for fw in frameworks:
+            value = row.get(fw)
+            if value is None or value <= 0:
+                cells.append(f"{'-':>12}")
+                continue
+            ratio = base / value
+            speedups[fw].append(ratio)
+            arrow = "^" if ratio >= 1.0 else "v"
+            cells.append(f"{ratio:>10.2f}{arrow} ")
+        lines.append(f"{name:<22}" + "".join(cells) + f"{_fmt_time(base):>16}")
+    lines.append("-" * len(header))
+    gm_cells = []
+    for fw in frameworks:
+        gm = geomean(speedups[fw])
+        gm_cells.append(f"{gm:>10.2f}x ")
+    lines.append(f"{'geomean speedup':<22}" + "".join(gm_cells))
+    return "\n".join(lines)
+
+
+def runtime_series(rows: Dict[str, Dict[str, float]], title: str = "") -> str:
+    """Fig. 8/9-style: absolute runtimes per benchmark and framework."""
+    frameworks = sorted({fw for r in rows.values() for fw in r})
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'benchmark':<22}" + "".join(f"{fw:>14}" for fw in frameworks)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in sorted(rows.items()):
+        cells = []
+        for fw in frameworks:
+            value = row.get(fw)
+            cells.append(f"{_fmt_time(value):>14}" if value else f"{'-':>14}")
+        lines.append(f"{name:<22}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def scaling_table(series: Dict[str, Dict[int, float]], base_procs: int = 1,
+                  title: str = "") -> str:
+    """Fig. 12-style: runtime and weak-scaling efficiency per process count.
+
+    ``series[framework][P] = runtime``.  Efficiency = T(base)/T(P).
+    """
+    frameworks = sorted(series)
+    procs = sorted({p for s in series.values() for p in s})
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'procs':>8}" + "".join(
+        f"{fw + ' time':>14}{fw + ' eff':>10}" for fw in frameworks)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in procs:
+        cells = []
+        for fw in frameworks:
+            t = series[fw].get(p)
+            base = series[fw].get(base_procs)
+            if t is None:
+                cells.append(f"{'-':>14}{'-':>10}")
+                continue
+            eff = (base / t * 100.0) if base and t > 0 else 0.0
+            cells.append(f"{_fmt_time(t):>14}{eff:>9.1f}%")
+        lines.append(f"{p:>8}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Statistics for scientific benchmarking (following the paper's
+methodology [39]): median runtimes, 95% nonparametric confidence intervals,
+bootstrap CIs, and geometric means."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Measurement", "median_ci", "bootstrap_ci", "geomean", "summarize"]
+
+
+@dataclass
+class Measurement:
+    """Summary of repeated runtime samples."""
+
+    median: float
+    ci_low: float
+    ci_high: float
+    samples: List[float]
+
+    @property
+    def ci_percent(self) -> float:
+        """CI size as a percentage of the median (the paper's superscript)."""
+        if self.median == 0:
+            return 0.0
+        return 100.0 * (self.ci_high - self.ci_low) / self.median
+
+
+def median_ci(samples: Sequence[float], confidence: float = 0.95
+              ) -> Tuple[float, float, float]:
+    """Median and nonparametric (order-statistic) confidence interval.
+
+    Uses the binomial order-statistic bounds; for very small samples the
+    interval degenerates to the min/max.
+    """
+    data = sorted(samples)
+    n = len(data)
+    if n == 0:
+        raise ValueError("no samples")
+    med = float(np.median(data))
+    if n < 6:
+        return med, data[0], data[-1]
+    z = 1.959963984540054  # 97.5% normal quantile
+    half = z * math.sqrt(n) / 2.0
+    lower = max(int(math.floor(n / 2.0 - half)), 0)
+    upper = min(int(math.ceil(n / 2.0 + half)), n - 1)
+    return med, data[lower], data[upper]
+
+
+def bootstrap_ci(samples: Sequence[float], confidence: float = 0.95,
+                 resamples: int = 1000, seed: int = 0
+                 ) -> Tuple[float, float, float]:
+    """Median and bootstrap confidence interval [27]."""
+    data = np.asarray(list(samples), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("no samples")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, data.size, size=(resamples, data.size))
+    medians = np.median(data[idx], axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(medians, [alpha, 1.0 - alpha])
+    return float(np.median(data)), float(low), float(high)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper aggregates speedups this way [1])."""
+    arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def summarize(samples: Sequence[float], method: str = "bootstrap") -> Measurement:
+    if method == "bootstrap":
+        med, low, high = bootstrap_ci(samples)
+    else:
+        med, low, high = median_ci(samples)
+    return Measurement(med, low, high, list(samples))

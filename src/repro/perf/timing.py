@@ -1,0 +1,40 @@
+"""Runtime measurement harness (paper §3.4.1: ten repetitions, median,
+95% nonparametric CI)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from .stats import Measurement, summarize
+
+__all__ = ["measure", "measure_callable"]
+
+
+def measure_callable(fn: Callable[[], None], repetitions: int = 10,
+                     warmup: int = 1, method: str = "bootstrap") -> Measurement:
+    """Time ``fn()`` *repetitions* times after *warmup* unmeasured runs."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return summarize(samples, method=method)
+
+
+def measure(fn: Callable, *args, repetitions: int = 10, warmup: int = 1,
+            setup: Optional[Callable[[], tuple]] = None,
+            method: str = "bootstrap", **kwargs) -> Measurement:
+    """Measure ``fn(*args, **kwargs)``; ``setup`` (if given) regenerates the
+    arguments before every run so in-place kernels see fresh inputs."""
+    def run_once():
+        if setup is not None:
+            fresh_args, fresh_kwargs = setup()
+            fn(*fresh_args, **fresh_kwargs)
+        else:
+            fn(*args, **kwargs)
+
+    return measure_callable(run_once, repetitions=repetitions, warmup=warmup,
+                            method=method)

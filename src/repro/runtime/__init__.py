@@ -1,0 +1,14 @@
+"""Runtimes: the reference interpreter, workload analysis, and the
+simulated CPU/GPU/FPGA device models."""
+
+from .devices import (CPU_PROFILES, FPGA_PROFILES, GPU_PROFILES, cpu_time,
+                      fpga_time, gpu_time)
+from .executor import ExecutionError, run_sdfg
+from .perfmodel import ProgramCost, StateCost, analyze_program, analyze_state
+
+__all__ = [
+    "run_sdfg", "ExecutionError",
+    "ProgramCost", "StateCost", "analyze_program", "analyze_state",
+    "CPU_PROFILES", "GPU_PROFILES", "FPGA_PROFILES",
+    "cpu_time", "gpu_time", "fpga_time",
+]

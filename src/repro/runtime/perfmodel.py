@@ -1,0 +1,272 @@
+"""IR-derived workload analysis for the device performance models.
+
+The paper's headline effects are *data-movement* effects: subgraph fusion
+removes intermediate arrays, streaming composition removes DRAM round trips,
+tiling removes atomic updates.  This module measures exactly those
+quantities on the SDFG — bytes moved per memlet, floating-point operations
+per tasklet/library node, kernel launches, and write-conflict updates —
+scaled by observed state-visit counts, so data-dependent control flow is
+handled by real execution.
+
+The device models (:mod:`repro.runtime.devices`) turn a
+:class:`ProgramCost` into modeled runtimes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.data import Scalar, StorageType, Stream
+from ..ir.nodes import (
+    AccessNode,
+    LibraryNode,
+    MapEntry,
+    MapExit,
+    NestedSDFG,
+    Tasklet,
+)
+from ..symbolic import Expr, Integer
+
+__all__ = ["StateCost", "ProgramCost", "analyze_state", "analyze_program",
+           "tasklet_flops"]
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod,
+              ast.Pow, ast.BitAnd, ast.BitOr, ast.BitXor, ast.LShift,
+              ast.RShift)
+#: calls that count as (several) flops
+_EXPENSIVE_CALLS = {"sqrt": 4, "exp": 8, "log": 8, "sin": 8, "cos": 8,
+                    "tan": 10, "tanh": 10, "pow": 8, "arctan2": 12,
+                    "exp2": 8, "hypot": 8}
+
+
+def tasklet_flops(code: str) -> int:
+    """Arithmetic operations per execution of a tasklet."""
+    try:
+        tree = ast.parse(code)
+    except SyntaxError:
+        return 1
+    flops = 0
+    for node in ast.walk(tree):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS):
+            flops += 1
+        elif isinstance(node, ast.Compare):
+            flops += len(node.ops)
+        elif isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            flops += _EXPENSIVE_CALLS.get(name, 1)
+    return max(flops, 1)
+
+
+@dataclass
+class StateCost:
+    """Measured cost quantities of one state execution."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    flops: int = 0
+    kernels: int = 0                      # top-level operations (launches)
+    wcr_updates: int = 0                  # conflicting (atomic) updates
+    transient_bytes: int = 0              # intermediate array traffic
+    stream_bytes: int = 0                 # moved through FIFO streams (FPGA)
+    library_flops: int = 0                # flops inside fast-library calls
+    map_iterations: int = 0
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def scaled(self, factor: int) -> "StateCost":
+        return StateCost(**{k: v * factor for k, v in self.__dict__.items()})
+
+    def __iadd__(self, other: "StateCost") -> "StateCost":
+        for key, value in other.__dict__.items():
+            setattr(self, key, getattr(self, key) + value)
+        return self
+
+
+@dataclass
+class ProgramCost(StateCost):
+    """Whole-program cost: state costs scaled by visit counts, plus the
+    argument footprint (host<->device transfers on accelerators)."""
+
+    argument_bytes_in: int = 0
+    argument_bytes_out: int = 0
+
+
+def _eval(expr: Expr, env: Dict[str, int]) -> int:
+    try:
+        return max(int(expr.evaluate(env)), 0)
+    except (KeyError, ZeroDivisionError):
+        return 1
+
+
+def _volume(memlet, env: Dict[str, int], param_env: Dict[str, int]) -> int:
+    if memlet.is_empty():
+        return 0
+    merged = dict(env)
+    merged.update(param_env)
+    subset = memlet.subset.subs(merged)
+    try:
+        return max(int(subset.volume().evaluate(merged)), 0)
+    except (KeyError, ZeroDivisionError):
+        return 1
+
+
+def _scope_multiplier(state, node, scopes: Dict, env: Dict[str, int]) -> int:
+    """Product of enclosing map range volumes."""
+    mult = 1
+    current = scopes.get(node)
+    while current is not None:
+        mult *= _eval(current.map.range.volume(), env)
+        current = scopes.get(current)
+    return mult
+
+
+def _param_env(state, node, scopes: Dict, env: Dict[str, int]) -> Dict[str, int]:
+    """Bind enclosing map params to their range begins (for hull evaluation)."""
+    out: Dict[str, int] = {}
+    current = scopes.get(node)
+    while current is not None:
+        for param, (begin, _e, _s) in zip(current.map.params,
+                                          current.map.range.dims):
+            out[param] = _eval(begin, {**env, **out})
+        current = scopes.get(current)
+    return out
+
+
+def analyze_state(sdfg, state, env: Dict[str, int]) -> StateCost:
+    """Cost of executing *state* once under the given symbol values."""
+    cost = StateCost()
+    scopes = state.scope_dict()
+
+    for node in state.nodes():
+        scope = scopes.get(node)
+        if isinstance(node, MapEntry) and scope is None:
+            cost.kernels += 1
+            cost.map_iterations += _eval(node.map.range.volume(), env)
+        elif isinstance(node, LibraryNode):
+            if scope is None:
+                cost.kernels += 1
+            shapes_env: Dict[str, object] = {}
+            for edge in state.in_edges(node):
+                if edge.memlet.is_empty() or edge.dst_conn is None:
+                    continue
+                desc = sdfg.arrays[edge.memlet.data]
+                shape = tuple(_eval(s, env) for s in desc.shape)
+                shapes_env[f"{edge.dst_conn}_shape"] = shape
+            mult = _scope_multiplier(state, node, scopes, env)
+            cost.library_flops += node.flop_count(shapes_env) * mult
+        elif isinstance(node, Tasklet):
+            mult = _scope_multiplier(state, node, scopes, env)
+            cost.flops += tasklet_flops(node.code) * mult
+            if scope is None:
+                cost.kernels += 1
+        elif isinstance(node, NestedSDFG):
+            inner_env = dict(env)
+            for name, value in node.symbol_mapping.items():
+                if hasattr(value, "evaluate"):
+                    try:
+                        inner_env[name] = int(value.evaluate(env))
+                    except KeyError:
+                        pass
+            mult = _scope_multiplier(state, node, scopes, env)
+            inner = analyze_program_static(node.sdfg, inner_env)
+            cost += inner.scaled(mult)
+            if scope is None:
+                cost.kernels += 1
+
+    # memlet traffic
+    for edge in state.edges():
+        memlet = edge.memlet
+        if memlet.is_empty():
+            continue
+        desc = sdfg.arrays.get(memlet.data)
+        if desc is None:
+            continue
+        if desc.transient and isinstance(desc, Scalar) and memlet.wcr is None:
+            continue  # register-resident scalars move no memory
+        param_env = _param_env(state, edge.src, scopes, env)
+        src_scope = scopes.get(edge.src)
+        dst_scope = scopes.get(edge.dst)
+
+        # outer (hull) edges at scope boundaries are bookkeeping; traffic is
+        # charged on the precise inner edges
+        if isinstance(edge.src, AccessNode) and isinstance(edge.dst, MapEntry):
+            continue
+        if isinstance(edge.src, MapExit) and isinstance(edge.dst, AccessNode):
+            continue
+        if isinstance(edge.src, MapEntry) or isinstance(edge.dst, MapExit) \
+                or src_scope is not None or dst_scope is not None:
+            innermost = edge.dst if dst_scope is not None else edge.src
+            mult = _scope_multiplier(state, innermost, scopes, env)
+            if isinstance(edge.src, MapEntry) and scopes.get(edge.dst) is edge.src:
+                mult = _scope_multiplier(state, edge.dst, scopes, env)
+        else:
+            mult = 1
+        volume = _volume(memlet, env, param_env)
+        scalar_register = desc.transient and isinstance(desc, Scalar)
+        nbytes = 0 if scalar_register else volume * desc.dtype.bytes * mult
+
+        is_write = (isinstance(edge.dst, AccessNode)
+                    or (isinstance(edge.dst, MapExit)
+                        and edge.dst_conn is not None))
+        is_copy = isinstance(edge.src, AccessNode) and isinstance(edge.dst, AccessNode)
+        if is_copy:
+            cost.bytes_read += nbytes
+            cost.bytes_written += nbytes
+            cost.kernels += 1
+        elif is_write:
+            cost.bytes_written += nbytes
+        else:
+            cost.bytes_read += nbytes
+
+        if desc.transient and not isinstance(desc, Scalar):
+            if getattr(desc, "fpga_streamed", False) or isinstance(desc, Stream):
+                cost.stream_bytes += nbytes
+            elif desc.storage != StorageType.CPU_Stack:
+                cost.transient_bytes += nbytes
+
+        if memlet.wcr is not None and is_write:
+            entry = dst_scope if isinstance(dst_scope, MapEntry) else None
+            updates = volume * mult
+            if entry is not None and entry.map.tile_sizes:
+                tiles = 1
+                for (begin, end, step), tile in zip(entry.map.range.dims,
+                                                    entry.map.tile_sizes):
+                    extent = _eval((end - begin) // step + 1, env)
+                    tiles *= max((extent + tile - 1) // tile, 1)
+                updates = min(updates, tiles * max(volume, 1))
+            cost.wcr_updates += updates
+    return cost
+
+
+def analyze_program_static(sdfg, env: Dict[str, int]) -> StateCost:
+    """Single-pass cost of all states (no visit weighting; used for nested
+    SDFGs where visit counts are not tracked)."""
+    total = StateCost()
+    for state in sdfg.states():
+        total += analyze_state(sdfg, state, env)
+    return total
+
+
+def analyze_program(sdfg, state_visits: Dict[int, int],
+                    env: Dict[str, int]) -> ProgramCost:
+    """Whole-program cost from per-state visit counts (from a compiled run)."""
+    states = sdfg.topological_states()
+    total = ProgramCost()
+    for index, state in enumerate(states):
+        visits = state_visits.get(index, 0)
+        if visits == 0:
+            continue
+        total += analyze_state(sdfg, state, env).scaled(visits)
+    for name, desc in sdfg.arglist().items():
+        nbytes = _eval(desc.total_size(), env) * desc.dtype.bytes
+        total.argument_bytes_in += nbytes
+        total.argument_bytes_out += nbytes  # conservatively copied back
+    return total

@@ -1,0 +1,49 @@
+"""Write-conflict resolution (WCR) semantics.
+
+When multiple map iterations write the same location, the memlet's ``wcr``
+function combines the incoming value with the stored one (§2.3, Fig. 2b).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["WCR_APPLY", "WCR_UFUNC", "WCR_IDENTITY", "apply_wcr"]
+
+#: scalar combine functions
+WCR_APPLY: Dict[str, Callable] = {
+    "sum": lambda old, new: old + new,
+    "prod": lambda old, new: old * new,
+    "min": lambda old, new: min(old, new) if np.isscalar(old) else np.minimum(old, new),
+    "max": lambda old, new: max(old, new) if np.isscalar(old) else np.maximum(old, new),
+    "logical_and": lambda old, new: bool(old) and bool(new),
+    "logical_or": lambda old, new: bool(old) or bool(new),
+}
+
+#: vectorized in-place equivalents
+WCR_UFUNC: Dict[str, np.ufunc] = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+    "logical_and": np.logical_and,
+    "logical_or": np.logical_or,
+}
+
+#: identity element per WCR function (for initializing accumulators)
+WCR_IDENTITY: Dict[str, float] = {
+    "sum": 0.0,
+    "prod": 1.0,
+    "min": float("inf"),
+    "max": float("-inf"),
+    "logical_and": True,
+    "logical_or": False,
+}
+
+
+def apply_wcr(storage: np.ndarray, slices, value, wcr: str) -> None:
+    """Combine *value* into ``storage[slices]`` using the WCR function."""
+    ufunc = WCR_UFUNC[wcr]
+    ufunc.at(storage, slices, value)

@@ -1,0 +1,8 @@
+"""Simulated MPI: SPMD threads, mpi4py-style API, LogGP virtual clocks."""
+
+from .comm import Comm, Request, SimMPIError, VectorType, run_spmd
+from .grid import ProcessGrid, balanced_dims
+from .netmodel import NetModel
+
+__all__ = ["Comm", "Request", "VectorType", "run_spmd", "SimMPIError",
+           "ProcessGrid", "balanced_dims", "NetModel"]

@@ -1,0 +1,343 @@
+"""Simulated MPI: rank-per-thread SPMD execution with virtual clocks.
+
+Functionally, ranks run concurrently in threads and exchange real NumPy
+data through matched mailboxes (eager protocol).  For *timing*, every rank
+carries a virtual clock advanced by the LogGP network model on communication
+and by explicitly-reported compute time — so modeled end-to-end runtimes are
+deterministic and independent of host scheduling, while numerics are real.
+
+API mirrors mpi4py conventions: uppercase methods move NumPy buffers,
+collectives take root ranks, ``Isend/Irecv`` return requests with ``wait``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .netmodel import NetModel
+
+__all__ = ["Comm", "Request", "VectorType", "run_spmd", "SimMPIError"]
+
+
+class SimMPIError(RuntimeError):
+    """Error inside the simulated MPI runtime."""
+
+
+class VectorType:
+    """MPI_Type_vector analogue: count blocks of blocklength elements with a
+    stride (in elements) between block starts.
+
+    Mirrors the paper's derived-datatype halo exchange (§4.3): sending a
+    strided column without an intermediate copy.  The simulator packs and
+    unpacks through NumPy striding.
+    """
+
+    def __init__(self, count: int, blocklength: int, stride: int, dtype):
+        self.count = int(count)
+        self.blocklength = int(blocklength)
+        self.stride = int(stride)
+        self.dtype = np.dtype(dtype)
+        self._committed = False
+
+    def Commit(self) -> "VectorType":
+        self._committed = True
+        return self
+
+    def Free(self) -> None:
+        self._committed = False
+
+    @property
+    def extent_elements(self) -> int:
+        return self.count * self.blocklength
+
+    def pack(self, flat: np.ndarray) -> np.ndarray:
+        """Gather the typed elements from a flat element buffer."""
+        out = np.empty(self.extent_elements, dtype=self.dtype)
+        for i in range(self.count):
+            start = i * self.stride
+            out[i * self.blocklength:(i + 1) * self.blocklength] = \
+                flat[start:start + self.blocklength]
+        return out
+
+    def unpack(self, flat: np.ndarray, data: np.ndarray) -> None:
+        data = data.reshape(-1)
+        for i in range(self.count):
+            start = i * self.stride
+            flat[start:start + self.blocklength] = \
+                data[i * self.blocklength:(i + 1) * self.blocklength]
+
+
+class Request:
+    """A pending nonblocking operation."""
+
+    def __init__(self, complete: Callable[[], None]):
+        self._complete = complete
+        self._done = False
+
+    def wait(self) -> None:
+        if not self._done:
+            self._complete()
+            self._done = True
+
+    Wait = wait
+
+    def test(self) -> bool:
+        return self._done
+
+    @staticmethod
+    def waitall(requests: Sequence["Request"]) -> None:
+        for req in requests:
+            if req is not None:
+                req.wait()
+
+
+class _World:
+    """Shared state of one SPMD execution."""
+
+    def __init__(self, size: int, net: NetModel):
+        self.size = size
+        self.net = net
+        self.clocks = [0.0] * size
+        self.mailboxes: Dict[Tuple[int, int, int], "queue.Queue"] = {}
+        self._mail_lock = threading.Lock()
+        self.barrier = threading.Barrier(size)
+        self.coll_slots: List[Any] = [None] * size
+        self.comm_stats = {"messages": 0, "bytes": 0}
+        self._stats_lock = threading.Lock()
+        self.failed: Optional[BaseException] = None
+
+    def mailbox(self, src: int, dst: int, tag: int) -> "queue.Queue":
+        key = (src, dst, tag)
+        with self._mail_lock:
+            box = self.mailboxes.get(key)
+            if box is None:
+                box = self.mailboxes[key] = queue.Queue()
+            return box
+
+    def record(self, nbytes: int) -> None:
+        with self._stats_lock:
+            self.comm_stats["messages"] += 1
+            self.comm_stats["bytes"] += nbytes
+
+
+class Comm:
+    """Per-rank communicator handle."""
+
+    def __init__(self, world: _World, rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    # -- introspection -----------------------------------------------------
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    @property
+    def clock(self) -> float:
+        return self._world.clocks[self.rank]
+
+    def advance(self, seconds: float) -> None:
+        """Account local compute time on this rank's virtual clock."""
+        self._world.clocks[self.rank] += seconds
+
+    # -- point-to-point -----------------------------------------------------
+    def _payload(self, buf, datatype: Optional[VectorType]):
+        arr = np.asarray(buf)
+        if datatype is not None:
+            data = datatype.pack(arr.reshape(-1))
+        else:
+            data = np.copy(arr)
+        return data, data.nbytes
+
+    def Send(self, buf, dest: int, tag: int = 0,
+             datatype: Optional[VectorType] = None) -> None:
+        data, nbytes = self._payload(buf, datatype)
+        net = self._world.net
+        self._world.clocks[self.rank] += net.send_overhead(nbytes)
+        self._world.record(nbytes)
+        self._world.mailbox(self.rank, dest, tag).put(
+            (data, self._world.clocks[self.rank], nbytes))
+
+    def Recv(self, buf, source: int, tag: int = 0,
+             datatype: Optional[VectorType] = None):
+        data, sent_at, nbytes = self._world.mailbox(source, self.rank, tag).get()
+        arrival = sent_at + self._world.net.transit(nbytes) \
+            - self._world.net.send_overhead(nbytes)
+        self._world.clocks[self.rank] = max(self._world.clocks[self.rank],
+                                            sent_at + self._world.net.latency_s)
+        del arrival
+        target = np.asarray(buf)
+        if datatype is not None:
+            datatype.unpack(target.reshape(-1), data)
+        else:
+            np.copyto(target, data.reshape(target.shape))
+        return target
+
+    def Isend(self, buf, dest: int, tag: int = 0,
+              datatype: Optional[VectorType] = None) -> Request:
+        self.Send(buf, dest, tag, datatype)  # eager protocol
+        request = Request(lambda: None)
+        request._done = True
+        return request
+
+    def Irecv(self, buf, source: int, tag: int = 0,
+              datatype: Optional[VectorType] = None) -> Request:
+        def complete():
+            self.Recv(buf, source, tag, datatype)
+
+        return Request(complete)
+
+    def Waitall(self, requests: Sequence[Request]) -> None:
+        Request.waitall(requests)
+
+    def Sendrecv(self, sendbuf, dest: int, recvbuf, source: int,
+                 tag: int = 0) -> None:
+        req = self.Irecv(recvbuf, source, tag)
+        self.Send(sendbuf, dest, tag)
+        req.wait()
+
+    # -- collectives ----------------------------------------------------------
+    def _exchange(self, value):
+        """All ranks deposit a value; returns the full slot list."""
+        world = self._world
+        world.coll_slots[self.rank] = value
+        world.barrier.wait()
+        slots = list(world.coll_slots)
+        world.barrier.wait()
+        return slots
+
+    def _sync_clocks(self, cost: float) -> None:
+        """Collectives synchronize: all clocks advance to max + cost."""
+        world = self._world
+        world.coll_slots[self.rank] = world.clocks[self.rank]
+        world.barrier.wait()
+        peak = max(world.coll_slots)
+        world.barrier.wait()
+        world.clocks[self.rank] = peak + cost
+
+    def Barrier(self) -> None:
+        self._sync_clocks(self._world.net.barrier(self.size))
+
+    def Bcast(self, buf, root: int = 0):
+        arr = np.asarray(buf)
+        slots = self._exchange(np.copy(arr) if self.rank == root else None)
+        if self.rank != root:
+            np.copyto(arr, slots[root].reshape(arr.shape))
+        self._sync_clocks(self._world.net.bcast(arr.nbytes, self.size))
+        self._world.record(arr.nbytes * (self.size - 1))
+        return arr
+
+    def bcast(self, obj, root: int = 0):
+        slots = self._exchange(obj if self.rank == root else None)
+        nbytes = getattr(slots[root], "nbytes", 64)
+        self._sync_clocks(self._world.net.bcast(int(nbytes), self.size))
+        return slots[root]
+
+    def Scatter(self, sendbuf, recvbuf, root: int = 0):
+        recv = np.asarray(recvbuf)
+        slots = self._exchange(np.copy(np.asarray(sendbuf))
+                               if self.rank == root else None)
+        chunks = slots[root].reshape((self.size,) + recv.shape)
+        np.copyto(recv, chunks[self.rank])
+        total = int(chunks.nbytes)
+        self._sync_clocks(self._world.net.scatter(total, self.size))
+        self._world.record(total)
+        return recv
+
+    def Gather(self, sendbuf, recvbuf, root: int = 0):
+        send = np.copy(np.asarray(sendbuf))
+        slots = self._exchange(send)
+        if self.rank == root and recvbuf is not None:
+            recv = np.asarray(recvbuf)
+            stacked = np.stack([s.reshape(send.shape) for s in slots])
+            np.copyto(recv, stacked.reshape(recv.shape))
+        total = send.nbytes * self.size
+        self._sync_clocks(self._world.net.gather(total, self.size))
+        self._world.record(total)
+        return recvbuf
+
+    def Allgather(self, sendbuf, recvbuf):
+        send = np.copy(np.asarray(sendbuf))
+        slots = self._exchange(send)
+        recv = np.asarray(recvbuf)
+        stacked = np.stack([s.reshape(send.shape) for s in slots])
+        np.copyto(recv, stacked.reshape(recv.shape))
+        self._sync_clocks(self._world.net.allgather(send.nbytes, self.size))
+        self._world.record(send.nbytes * (self.size - 1))
+        return recv
+
+    def Allreduce(self, sendbuf, recvbuf, op: str = "sum"):
+        send = np.copy(np.asarray(sendbuf))
+        slots = self._exchange(send)
+        from ..runtime.wcr import WCR_UFUNC
+
+        ufunc = WCR_UFUNC[op]
+        total = slots[0].astype(np.result_type(slots[0]))
+        for s in slots[1:]:
+            total = ufunc(total, s)
+        recv = np.asarray(recvbuf)
+        np.copyto(recv, total.reshape(recv.shape))
+        self._sync_clocks(self._world.net.allreduce(send.nbytes, self.size))
+        self._world.record(send.nbytes * (self.size - 1))
+        return recv
+
+    def Reduce(self, sendbuf, recvbuf, op: str = "sum", root: int = 0):
+        send = np.copy(np.asarray(sendbuf))
+        slots = self._exchange(send)
+        if self.rank == root and recvbuf is not None:
+            from ..runtime.wcr import WCR_UFUNC
+
+            ufunc = WCR_UFUNC[op]
+            total = slots[0].astype(np.result_type(slots[0]))
+            for s in slots[1:]:
+                total = ufunc(total, s)
+            recv = np.asarray(recvbuf)
+            np.copyto(recv, total.reshape(recv.shape))
+        self._sync_clocks(self._world.net.reduce(send.nbytes, self.size))
+        self._world.record(send.nbytes * (self.size - 1))
+        return recvbuf
+
+    def Alltoall(self, sendbuf, recvbuf):
+        send = np.copy(np.asarray(sendbuf)).reshape((self.size, -1))
+        slots = self._exchange(send)
+        recv = np.asarray(recvbuf).reshape((self.size, -1))
+        for src in range(self.size):
+            recv[src] = slots[src][self.rank]
+        self._sync_clocks(self._world.net.alltoall(send[0].nbytes, self.size))
+        self._world.record(send.nbytes)
+        return recvbuf
+
+
+def run_spmd(func: Callable[[Comm], Any], size: int,
+             net: Optional[NetModel] = None) -> Tuple[List[Any], List[float], Dict]:
+    """Run ``func(comm)`` on *size* simulated ranks.
+
+    Returns (per-rank results, per-rank virtual clocks, communication stats).
+    Exceptions on any rank abort the execution and re-raise.
+    """
+    world = _World(size, net or NetModel.from_config())
+    results: List[Any] = [None] * size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = func(Comm(world, rank))
+        except BaseException as exc:  # noqa: BLE001 - propagated to caller
+            world.failed = exc
+            world.barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True)
+               for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if world.failed is not None:
+        raise SimMPIError(f"rank failure: {world.failed}") from world.failed
+    return results, world.clocks, world.comm_stats

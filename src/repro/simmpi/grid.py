@@ -1,0 +1,86 @@
+"""Cartesian process grids (BLACS analogue, §4.1).
+
+The PBLAS library environment sets up near-square 2-D grids automatically;
+grid parameters are free symbols that users may also choose.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+__all__ = ["ProcessGrid", "balanced_dims"]
+
+
+def balanced_dims(size: int, ndims: int = 2) -> Tuple[int, ...]:
+    """Near-square factorization of *size* into *ndims* factors
+    (MPI_Dims_create analogue)."""
+    dims = [1] * ndims
+    remaining = size
+    # assign prime factors largest-first to the currently-smallest dim
+    factors: List[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        smallest = dims.index(min(dims))
+        dims[smallest] *= factor
+    return tuple(sorted(dims, reverse=True))
+
+
+class ProcessGrid:
+    """A 2-D (or N-D) Cartesian arrangement of ranks, row-major."""
+
+    def __init__(self, size: int, dims: Optional[Tuple[int, ...]] = None,
+                 ndims: int = 2):
+        if dims is None:
+            dims = balanced_dims(size, ndims)
+        if math.prod(dims) != size:
+            raise ValueError(f"grid {dims} does not cover {size} ranks")
+        self.size = size
+        self.dims = tuple(dims)
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        out = []
+        for extent in reversed(self.dims):
+            out.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(out))
+
+    def rank_of(self, coords: Tuple[int, ...]) -> int:
+        rank = 0
+        for coord, extent in zip(coords, self.dims):
+            if not (0 <= coord < extent):
+                return -1
+            rank = rank * extent + coord
+        return rank
+
+    def shift(self, rank: int, dim: int, displacement: int) -> int:
+        """Neighbor rank along a dimension; -1 outside the grid."""
+        coords = list(self.coords(rank))
+        coords[dim] += displacement
+        return self.rank_of(tuple(coords))
+
+    def neighbors(self, rank: int) -> dict:
+        """N/S/W/E neighbors on a 2-D grid (-1 at boundaries)."""
+        if self.ndims != 2:
+            raise ValueError("neighbors() requires a 2-D grid")
+        return {
+            "north": self.shift(rank, 0, -1),
+            "south": self.shift(rank, 0, +1),
+            "west": self.shift(rank, 1, -1),
+            "east": self.shift(rank, 1, +1),
+        }
+
+    def __repr__(self) -> str:
+        return f"ProcessGrid({'x'.join(map(str, self.dims))})"

@@ -1,0 +1,91 @@
+"""LogGP-style network cost model for the simulated interconnect.
+
+Parameters default to a Piz-Daint-like Aries dragonfly (per-message overhead
+``o``, latency ``L``, inverse bandwidth ``G``).  All simulated communication
+advances per-rank *virtual clocks* using these costs; collectives use
+tree/butterfly schedules expressed in terms of point-to-point costs, so the
+model composes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import Config
+
+__all__ = ["NetModel"]
+
+
+@dataclass
+class NetModel:
+    """Point-to-point and collective communication costs in seconds."""
+
+    latency_s: float
+    overhead_s: float
+    inv_bandwidth_s_per_byte: float
+
+    @classmethod
+    def from_config(cls) -> "NetModel":
+        return cls(
+            latency_s=Config.get("net.latency_us") * 1e-6,
+            overhead_s=Config.get("net.per_message_overhead_us") * 1e-6,
+            inv_bandwidth_s_per_byte=1.0 / (Config.get("net.bandwidth_gbs") * 1e9),
+        )
+
+    # -- point to point ---------------------------------------------------
+    def send_overhead(self, nbytes: int) -> float:
+        """Sender-side cost of injecting a message."""
+        return self.overhead_s + nbytes * self.inv_bandwidth_s_per_byte
+
+    def transit(self, nbytes: int) -> float:
+        """Wire time until the last byte arrives at the receiver."""
+        return self.latency_s + nbytes * self.inv_bandwidth_s_per_byte
+
+    def ptp(self, nbytes: int) -> float:
+        return self.send_overhead(nbytes) + self.latency_s
+
+    # -- collectives --------------------------------------------------------
+    def bcast(self, nbytes: int, size: int) -> float:
+        """Binomial-tree broadcast."""
+        if size <= 1:
+            return 0.0
+        return math.ceil(math.log2(size)) * self.ptp(nbytes)
+
+    def reduce(self, nbytes: int, size: int) -> float:
+        return self.bcast(nbytes, size)
+
+    def allreduce(self, nbytes: int, size: int) -> float:
+        """Recursive doubling."""
+        if size <= 1:
+            return 0.0
+        return math.ceil(math.log2(size)) * self.ptp(nbytes)
+
+    def scatter(self, total_bytes: int, size: int) -> float:
+        """Binomial scatter: each tree level forwards half the payload."""
+        if size <= 1:
+            return 0.0
+        levels = math.ceil(math.log2(size))
+        time = 0.0
+        remaining = total_bytes
+        for _ in range(levels):
+            remaining /= 2
+            time += self.ptp(int(remaining))
+        return time
+
+    def gather(self, total_bytes: int, size: int) -> float:
+        return self.scatter(total_bytes, size)
+
+    def allgather(self, bytes_per_rank: int, size: int) -> float:
+        """Ring allgather: (P-1) steps of the per-rank block."""
+        if size <= 1:
+            return 0.0
+        return (size - 1) * self.ptp(bytes_per_rank)
+
+    def alltoall(self, bytes_per_pair: int, size: int) -> float:
+        if size <= 1:
+            return 0.0
+        return (size - 1) * self.ptp(bytes_per_pair)
+
+    def barrier(self, size: int) -> float:
+        return self.allreduce(8, size)

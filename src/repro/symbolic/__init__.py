@@ -1,0 +1,37 @@
+"""Symbolic subsystem: expressions, symbols, and integer range sets."""
+
+from .expr import (
+    Add,
+    Expr,
+    FloorDiv,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Symbol,
+    definitely_eq,
+    definitely_le,
+    definitely_lt,
+    simplify,
+    sympify,
+)
+from .sets import Range
+
+__all__ = [
+    "Add",
+    "Expr",
+    "FloorDiv",
+    "Integer",
+    "Max",
+    "Min",
+    "Mod",
+    "Mul",
+    "Range",
+    "Symbol",
+    "definitely_eq",
+    "definitely_le",
+    "definitely_lt",
+    "simplify",
+    "sympify",
+]

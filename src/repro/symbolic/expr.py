@@ -1,0 +1,746 @@
+"""Minimal symbolic integer algebra for the SDFG IR.
+
+The data-centric IR manipulates array shapes, memlet subsets, and map ranges
+symbolically (e.g. ``B[1:N-1]``).  This module provides the small expression
+algebra those manipulations need:
+
+* immutable expression trees over integer constants and named symbols,
+* canonicalization of sums and products (term collection, constant folding),
+* ``floor``-division, modulo, ``Min``/``Max`` as partially-evaluated atoms,
+* substitution and full evaluation to Python ints,
+* *decidable-when-possible* ordering queries (``definitely_le`` and friends)
+  under per-symbol nonnegativity assumptions.
+
+The engine intentionally supports only what subset analysis requires; it is
+not a general CAS.  All coefficients are Python ints (exact arithmetic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+ExprLike = Union["Expr", int]
+
+__all__ = [
+    "Expr",
+    "Integer",
+    "Symbol",
+    "Add",
+    "Mul",
+    "FloorDiv",
+    "Mod",
+    "Min",
+    "Max",
+    "sympify",
+    "simplify",
+]
+
+
+class Expr:
+    """Base class of all symbolic expressions.
+
+    Expressions are immutable and hashable; arithmetic operators build new
+    canonicalized expressions.
+    """
+
+    __slots__ = ()
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return _add(self, sympify(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return _add(sympify(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return _add(self, _mul(Integer(-1), sympify(other)))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return _add(sympify(other), _mul(Integer(-1), self))
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return _mul(self, sympify(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return _mul(sympify(other), self)
+
+    def __neg__(self) -> "Expr":
+        return _mul(Integer(-1), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv.make(self, sympify(other))
+
+    def __rfloordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv.make(sympify(other), self)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return Mod.make(self, sympify(other))
+
+    def __rmod__(self, other: ExprLike) -> "Expr":
+        return Mod.make(sympify(other), self)
+
+    def __pow__(self, other: int) -> "Expr":
+        if not isinstance(other, int) or other < 0:
+            raise ValueError("only nonnegative integer powers are supported")
+        result: Expr = Integer(1)
+        for _ in range(other):
+            result = _mul(result, self)
+        return result
+
+    # -- equality is structural -----------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = Integer(other)
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def free_symbols(self) -> frozenset:
+        """All :class:`Symbol` instances appearing in this expression."""
+        return frozenset()
+
+    def subs(self, env: Mapping[Union[str, "Symbol"], ExprLike]) -> "Expr":
+        """Substitute symbols by name or identity; returns a new expression."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Optional[Mapping[str, int]] = None) -> int:
+        """Fully evaluate to a Python int; raises KeyError on free symbols."""
+        raise NotImplementedError
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.free_symbols
+
+    def is_nonnegative(self) -> Optional[bool]:
+        """True/False if decidable under symbol assumptions, else None."""
+        return _sign_query(self, strict=False)
+
+    def is_positive(self) -> Optional[bool]:
+        return _sign_query(self, strict=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self})"
+
+    # expressions are immutable: copying returns the same object
+    def __copy__(self) -> "Expr":
+        return self
+
+    def __deepcopy__(self, memo) -> "Expr":
+        return self
+
+
+class Integer(Expr):
+    """An integer constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, (int,)) or isinstance(value, bool):
+            raise TypeError(f"Integer requires an int, got {type(value).__name__}")
+        object.__setattr__(self, "value", int(value))
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("Integer is immutable")
+
+    def _key(self) -> tuple:
+        return ("int", self.value)
+
+    def subs(self, env) -> "Expr":
+        return self
+
+    def evaluate(self, env=None) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+
+class Symbol(Expr):
+    """A named integer symbol, by default assumed nonnegative.
+
+    Symbolic array sizes in the paper (``N = dace.symbol('N')``) denote
+    dynamic-but-fixed dimensions, so nonnegativity is the natural default;
+    ``positive=True`` additionally assumes the symbol is at least 1.
+    """
+
+    __slots__ = ("name", "nonnegative", "positive")
+
+    def __init__(self, name: str, nonnegative: bool = True, positive: bool = False):
+        if not name or not isinstance(name, str):
+            raise ValueError("Symbol requires a non-empty name")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "nonnegative", bool(nonnegative or positive))
+        object.__setattr__(self, "positive", bool(positive))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Symbol is immutable")
+
+    def _key(self) -> tuple:
+        return ("sym", self.name)
+
+    @property
+    def free_symbols(self) -> frozenset:
+        return frozenset((self,))
+
+    def subs(self, env) -> "Expr":
+        for key in (self, self.name):
+            try:
+                if key in env:
+                    return sympify(env[key])
+            except TypeError:
+                pass
+        return self
+
+    def evaluate(self, env=None) -> int:
+        if env is None or self.name not in env:
+            raise KeyError(f"no value bound for symbol {self.name!r}")
+        return int(env[self.name])
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def sympify(value: ExprLike) -> Expr:
+    """Convert ints (and numpy integer scalars) to :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("cannot sympify a bool")
+    if isinstance(value, int):
+        return Integer(value)
+    # Accept numpy integer scalars without importing numpy here.
+    if hasattr(value, "__index__"):
+        return Integer(value.__index__())
+    raise TypeError(f"cannot convert {value!r} to a symbolic expression")
+
+
+# ---------------------------------------------------------------------------
+# Canonical sums and products
+# ---------------------------------------------------------------------------
+
+class Add(Expr):
+    """Canonical sum: constant + sum of (coefficient * term) entries.
+
+    ``terms`` maps a non-Add, non-Integer expression to its integer
+    coefficient.  Construction goes through :func:`_add`.
+    """
+
+    __slots__ = ("constant", "terms", "_ordered")
+
+    def __init__(self, constant: int, terms: Mapping[Expr, int]):
+        object.__setattr__(self, "constant", int(constant))
+        clean = {t: int(c) for t, c in terms.items() if c != 0}
+        object.__setattr__(self, "terms", clean)
+        ordered = tuple(sorted(clean.items(), key=lambda kv: str(kv[0])))
+        object.__setattr__(self, "_ordered", ordered)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Add is immutable")
+
+    def _key(self) -> tuple:
+        return ("add", self.constant, tuple((t._key(), c) for t, c in self._ordered))
+
+    @property
+    def free_symbols(self) -> frozenset:
+        out: frozenset = frozenset()
+        for term in self.terms:
+            out |= term.free_symbols
+        return out
+
+    def subs(self, env) -> Expr:
+        result: Expr = Integer(self.constant)
+        for term, coeff in self._ordered:
+            result = result + term.subs(env) * coeff
+        return result
+
+    def evaluate(self, env=None) -> int:
+        total = self.constant
+        for term, coeff in self._ordered:
+            total += coeff * term.evaluate(env)
+        return total
+
+    def __str__(self) -> str:
+        parts = []
+        if self.constant != 0 or not self.terms:
+            parts.append(str(self.constant))
+        for term, coeff in self._ordered:
+            if coeff == 1:
+                parts.append(str(term))
+            elif coeff == -1:
+                parts.append(f"-{_paren(term)}")
+            else:
+                parts.append(f"{coeff}*{_paren(term)}")
+        out = " + ".join(parts)
+        return out.replace("+ -", "- ")
+
+
+class Mul(Expr):
+    """Canonical product: integer coefficient * product of base**exp factors."""
+
+    __slots__ = ("coeff", "factors", "_ordered")
+
+    def __init__(self, coeff: int, factors: Mapping[Expr, int]):
+        object.__setattr__(self, "coeff", int(coeff))
+        clean = {b: int(e) for b, e in factors.items() if e != 0}
+        object.__setattr__(self, "factors", clean)
+        ordered = tuple(sorted(clean.items(), key=lambda kv: str(kv[0])))
+        object.__setattr__(self, "_ordered", ordered)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Mul is immutable")
+
+    def _key(self) -> tuple:
+        return ("mul", self.coeff, tuple((b._key(), e) for b, e in self._ordered))
+
+    @property
+    def free_symbols(self) -> frozenset:
+        out: frozenset = frozenset()
+        for base in self.factors:
+            out |= base.free_symbols
+        return out
+
+    def subs(self, env) -> Expr:
+        result: Expr = Integer(self.coeff)
+        for base, exp in self._ordered:
+            result = result * (base.subs(env) ** exp)
+        return result
+
+    def evaluate(self, env=None) -> int:
+        total = self.coeff
+        for base, exp in self._ordered:
+            total *= base.evaluate(env) ** exp
+        return total
+
+    def __str__(self) -> str:
+        parts = []
+        if self.coeff != 1 or not self.factors:
+            parts.append(str(self.coeff))
+        for base, exp in self._ordered:
+            parts.append(_paren(base) if exp == 1 else f"{_paren(base)}**{exp}")
+        return "*".join(parts)
+
+
+def _paren(expr: Expr) -> str:
+    text = str(expr)
+    if isinstance(expr, (Add,)) or (isinstance(expr, Mul) and len(expr.factors) > 0
+                                    and (expr.coeff != 1 or len(expr.factors) > 1)):
+        return f"({text})"
+    return text
+
+
+def _as_terms(expr: Expr) -> Tuple[int, Dict[Expr, int]]:
+    """Decompose into (constant, {term: coeff}) for sum collection."""
+    if isinstance(expr, Integer):
+        return expr.value, {}
+    if isinstance(expr, Add):
+        return expr.constant, dict(expr.terms)
+    if isinstance(expr, Mul):
+        if not expr.factors:
+            return expr.coeff, {}
+        stripped = Mul(1, expr.factors)
+        inner = _collapse_mul(stripped)
+        return 0, {inner: expr.coeff}
+    return 0, {expr: 1}
+
+
+def _collapse_mul(m: Mul) -> Expr:
+    """Reduce a coefficient-1 Mul with a single degree-1 factor to that factor."""
+    if m.coeff == 1 and len(m.factors) == 1:
+        (base, exp), = m.factors.items()
+        if exp == 1:
+            return base
+    if not m.factors:
+        return Integer(m.coeff)
+    return m
+
+
+def _add(a: Expr, b: Expr) -> Expr:
+    const_a, terms_a = _as_terms(a)
+    const_b, terms_b = _as_terms(b)
+    constant = const_a + const_b
+    terms = dict(terms_a)
+    for term, coeff in terms_b.items():
+        terms[term] = terms.get(term, 0) + coeff
+    terms = {t: c for t, c in terms.items() if c != 0}
+    if not terms:
+        return Integer(constant)
+    if constant == 0 and len(terms) == 1:
+        (term, coeff), = terms.items()
+        if coeff == 1:
+            return term
+        return _mul(Integer(coeff), term)
+    return Add(constant, terms)
+
+
+def _as_factors(expr: Expr) -> Tuple[int, Dict[Expr, int]]:
+    """Decompose into (coefficient, {base: exponent}) for product collection."""
+    if isinstance(expr, Integer):
+        return expr.value, {}
+    if isinstance(expr, Mul):
+        return expr.coeff, dict(expr.factors)
+    return 1, {expr: 1}
+
+
+def _mul(a: Expr, b: Expr) -> Expr:
+    # Distribute products over sums so polynomials stay canonical:
+    # (x + 1) * 2 -> 2x + 2; (x + 1) * (y) -> x*y + y.
+    if isinstance(a, Add) and isinstance(b, (Integer, Symbol, Mul, Add)):
+        result: Expr = Integer(0)
+        for part in _iter_addends(a):
+            result = _add(result, _mul(part, b))
+        return result
+    if isinstance(b, Add):
+        return _mul(b, a)
+    coeff_a, factors_a = _as_factors(a)
+    coeff_b, factors_b = _as_factors(b)
+    coeff = coeff_a * coeff_b
+    if coeff == 0:
+        return Integer(0)
+    factors = dict(factors_a)
+    for base, exp in factors_b.items():
+        factors[base] = factors.get(base, 0) + exp
+    factors = {base: exp for base, exp in factors.items() if exp != 0}
+    if not factors:
+        return Integer(coeff)
+    return _collapse_mul(Mul(coeff, factors))
+
+
+def _iter_addends(expr: Expr) -> Iterable[Expr]:
+    if isinstance(expr, Add):
+        if expr.constant != 0:
+            yield Integer(expr.constant)
+        for term, coeff in expr.terms.items():
+            yield term if coeff == 1 else _mul(Integer(coeff), term)
+    else:
+        yield expr
+
+
+# ---------------------------------------------------------------------------
+# Opaque atoms with partial evaluation
+# ---------------------------------------------------------------------------
+
+class _BinaryAtom(Expr):
+    """Base for floor-division and modulo atoms."""
+
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left: Expr, right: Expr):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.left._key(), self.right._key())
+
+    @property
+    def free_symbols(self) -> frozenset:
+        return self.left.free_symbols | self.right.free_symbols
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+
+class FloorDiv(_BinaryAtom):
+    """``left // right`` kept opaque unless it folds to a constant."""
+
+    __slots__ = ()
+    _symbol = "//"
+
+    @staticmethod
+    def make(left: Expr, right: Expr) -> Expr:
+        if isinstance(right, Integer):
+            if right.value == 0:
+                raise ZeroDivisionError("symbolic floor division by zero")
+            if right.value == 1:
+                return left
+            if isinstance(left, Integer):
+                return Integer(left.value // right.value)
+            # Exact division of a polynomial by a constant, when all
+            # coefficients divide evenly, stays polynomial.
+            divided = _try_exact_div(left, right.value)
+            if divided is not None:
+                return divided
+        if left == right:
+            return Integer(1)
+        if isinstance(left, Integer) and left.value == 0:
+            return Integer(0)
+        return FloorDiv(left, right)
+
+    def subs(self, env) -> Expr:
+        return FloorDiv.make(self.left.subs(env), self.right.subs(env))
+
+    def evaluate(self, env=None) -> int:
+        return self.left.evaluate(env) // self.right.evaluate(env)
+
+
+def _try_exact_div(expr: Expr, divisor: int) -> Optional[Expr]:
+    const, terms = _as_terms(expr)
+    if const % divisor != 0:
+        return None
+    if any(coeff % divisor != 0 for coeff in terms.values()):
+        return None
+    result: Expr = Integer(const // divisor)
+    for term, coeff in terms.items():
+        result = result + term * (coeff // divisor)
+    return result
+
+
+class Mod(_BinaryAtom):
+    """``left % right`` kept opaque unless it folds to a constant."""
+
+    __slots__ = ()
+    _symbol = "%"
+
+    @staticmethod
+    def make(left: Expr, right: Expr) -> Expr:
+        if isinstance(right, Integer):
+            if right.value == 0:
+                raise ZeroDivisionError("symbolic modulo by zero")
+            if right.value == 1:
+                return Integer(0)
+            if isinstance(left, Integer):
+                return Integer(left.value % right.value)
+        if left == right:
+            return Integer(0)
+        if isinstance(left, Integer) and left.value == 0:
+            return Integer(0)
+        return Mod(left, right)
+
+    def subs(self, env) -> Expr:
+        return Mod.make(self.left.subs(env), self.right.subs(env))
+
+    def evaluate(self, env=None) -> int:
+        return self.left.evaluate(env) % self.right.evaluate(env)
+
+
+class _MinMax(Expr):
+    """Variadic min/max atom with constant folding and duplicate removal."""
+
+    __slots__ = ("args",)
+    _pick = staticmethod(min)
+    _name = "MinMax"
+
+    def __init__(self, args: Tuple[Expr, ...]):
+        object.__setattr__(self, "args", args)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    @classmethod
+    def make(cls, *args: ExprLike) -> Expr:
+        exprs = [sympify(a) for a in args]
+        if not exprs:
+            raise ValueError(f"{cls._name} requires at least one argument")
+        flat = []
+        for e in exprs:
+            if isinstance(e, cls):
+                flat.extend(e.args)
+            else:
+                flat.append(e)
+        constants = [e.value for e in flat if isinstance(e, Integer)]
+        others = []
+        for e in flat:
+            if not isinstance(e, Integer) and e not in others:
+                others.append(e)
+        if constants:
+            folded = cls._pick(constants)
+            if not others:
+                return Integer(folded)
+            others.append(Integer(folded))
+        if len(others) == 1:
+            return others[0]
+        ordered = tuple(sorted(others, key=str))
+        return cls(ordered)
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, tuple(a._key() for a in self.args))
+
+    @property
+    def free_symbols(self) -> frozenset:
+        out: frozenset = frozenset()
+        for arg in self.args:
+            out |= arg.free_symbols
+        return out
+
+    def subs(self, env) -> Expr:
+        return type(self).make(*(a.subs(env) for a in self.args))
+
+    def evaluate(self, env=None) -> int:
+        return self._pick(a.evaluate(env) for a in self.args)
+
+    def __str__(self) -> str:
+        return f"{self._name}({', '.join(str(a) for a in self.args)})"
+
+
+class Min(_MinMax):
+    __slots__ = ()
+    _pick = staticmethod(min)
+    _name = "Min"
+
+
+class Max(_MinMax):
+    __slots__ = ()
+    _pick = staticmethod(max)
+    _name = "Max"
+
+
+# ---------------------------------------------------------------------------
+# Sign and ordering queries
+# ---------------------------------------------------------------------------
+
+def _atom_sign(expr: Expr, strict: bool) -> Optional[bool]:
+    if isinstance(expr, Symbol):
+        if strict:
+            return True if expr.positive else None
+        return True if expr.nonnegative else None
+    if isinstance(expr, Integer):
+        return expr.value > 0 if strict else expr.value >= 0
+    if isinstance(expr, (Min, Max)):
+        signs = [_sign_query(a, strict) for a in expr.args]
+        if isinstance(expr, Min) and all(s is True for s in signs):
+            return True
+        if isinstance(expr, Max) and any(s is True for s in signs):
+            return True
+        return None
+    if isinstance(expr, FloorDiv):
+        if _sign_query(expr.left, False) and _sign_query(expr.right, True):
+            # floor(a/b) >= 0 for a >= 0, b > 0 — never strictly positive
+            # without magnitude information.
+            return True if not strict else None
+        return None
+    if isinstance(expr, Mod):
+        if _sign_query(expr.right, True):
+            return True if not strict else None
+        return None
+    return None
+
+
+def _sign_query(expr: Expr, strict: bool) -> Optional[bool]:
+    """Decide expr > 0 (strict) or expr >= 0; None when unknown."""
+    const, terms = _as_terms(expr)
+    if not terms:
+        return const > 0 if strict else const >= 0
+    # Every term must be provably nonnegative for a sound "yes".
+    all_nonneg = True
+    any_negative_coeff = False
+    for term, coeff in terms.items():
+        term_nonneg = _product_nonneg(term)
+        if coeff > 0 and term_nonneg:
+            continue
+        if coeff < 0 and term_nonneg:
+            any_negative_coeff = True
+            all_nonneg = False
+            continue
+        all_nonneg = False
+    if all_nonneg:
+        if const > 0:
+            return True
+        if const == 0:
+            if not strict:
+                return True
+            # strict: need at least one strictly positive term
+            for term, coeff in terms.items():
+                if coeff > 0 and _product_positive(term):
+                    return True
+            return None
+        # const < 0 with nonnegative terms: unknown without magnitudes
+        return None
+    # All terms nonpositive and constant nonpositive -> definitely not positive
+    if any_negative_coeff:
+        all_nonpos = const <= 0
+        for term, coeff in terms.items():
+            if not (coeff < 0 and _product_nonneg(term)):
+                all_nonpos = False
+                break
+        if all_nonpos:
+            if strict:
+                return False
+            # expr <= 0: expr >= 0 only possible if expr == 0
+            if const < 0:
+                return False
+            if const == 0 and all(
+                coeff < 0 and _product_positive(term) for term, coeff in terms.items()
+            ):
+                return False
+            return None
+    return None
+
+
+def _product_nonneg(term: Expr) -> bool:
+    if isinstance(term, Mul):
+        if term.coeff < 0:
+            return False
+        return all(
+            _atom_sign(base, False) is True or exp % 2 == 0
+            for base, exp in term.factors.items()
+        )
+    return _atom_sign(term, False) is True
+
+
+def _product_positive(term: Expr) -> bool:
+    if isinstance(term, Mul):
+        if term.coeff <= 0:
+            return False
+        return all(_atom_sign(base, True) is True for base, exp in term.factors.items())
+    return _atom_sign(term, True) is True
+
+
+def simplify(expr: ExprLike) -> Expr:
+    """Return the canonical form of *expr* (construction already canonicalizes;
+    this re-runs it, folding any newly-constant atoms)."""
+    expr = sympify(expr)
+    return expr.subs({})
+
+
+def definitely_le(a: ExprLike, b: ExprLike) -> Optional[bool]:
+    """True if a <= b always holds, False if a > b always holds, else None."""
+    diff = sympify(b) - sympify(a)
+    nonneg = diff.is_nonnegative()
+    if nonneg is True:
+        return True
+    # a > b  <=>  b - a <= -1  <=>  a - b - 1 >= 0
+    opposite = (sympify(a) - sympify(b) - 1).is_nonnegative()
+    if opposite is True:
+        return False
+    return None
+
+
+def definitely_lt(a: ExprLike, b: ExprLike) -> Optional[bool]:
+    """True if a < b always holds, False if a >= b always holds, else None."""
+    strict = (sympify(b) - sympify(a)).is_positive()
+    if strict is True:
+        return True
+    if (sympify(a) - sympify(b)).is_nonnegative() is True:
+        return False
+    return None
+
+
+def definitely_eq(a: ExprLike, b: ExprLike) -> Optional[bool]:
+    """True if a == b structurally after canonicalization, False if provably
+    different, else None."""
+    diff = sympify(a) - sympify(b)
+    if isinstance(diff, Integer):
+        return diff.value == 0
+    if diff.is_positive() is True or (-diff).is_positive() is True:
+        return False
+    return None

@@ -1,0 +1,7 @@
+"""Transformation framework: pattern-matching graph rewrites (§2.4, §3.1)."""
+
+from .base import Transformation, apply_transformation
+from .pipeline import SIMPLIFY_TRANSFORMATIONS, simplify_pass
+
+__all__ = ["Transformation", "apply_transformation", "simplify_pass",
+           "SIMPLIFY_TRANSFORMATIONS"]

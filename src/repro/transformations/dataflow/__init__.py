@@ -1,0 +1,19 @@
+"""Dataflow transformations (coarsening pass + auto-optimization passes)."""
+
+from .cleanup import (DeadDataflowElimination, DegenerateMapRemoval,
+                      EmptyStateRemoval)
+from .inline_nested import InlineNestedSDFG
+from .loop_to_map import LoopToMap
+from .map_collapse import MapCollapse
+from .map_fusion import GreedySubgraphFusion
+from .map_tiling import MapTiling, TileWCRMaps
+from .redundant_copy import RedundantReadCopy, RedundantWriteCopy
+from .state_fusion import StateFusion
+from .transient_alloc import TransientAllocationMitigation
+
+__all__ = [
+    "StateFusion", "InlineNestedSDFG", "RedundantReadCopy", "RedundantWriteCopy",
+    "EmptyStateRemoval", "DegenerateMapRemoval", "DeadDataflowElimination",
+    "LoopToMap", "MapCollapse", "GreedySubgraphFusion",
+    "TileWCRMaps", "MapTiling", "TransientAllocationMitigation",
+]

@@ -1,0 +1,162 @@
+"""Nested-SDFG inlining (§2.4: "inlining Nested SDFGs").
+
+A nested SDFG whose inner graph collapsed to a single state (after its own
+coarsening) is spliced into the parent state: inner transients are adopted
+under fresh names, inner argument containers are rewritten to the outer
+containers they are bound to, and boundary access nodes merge with the
+outer endpoints.  This exposes the callee's dataflow to the parent's
+fusion passes and to vectorized code generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...ir.data import Scalar
+from ...ir.nodes import AccessNode, NestedSDFG
+from ...symbolic import Symbol
+from ..base import Transformation
+
+__all__ = ["InlineNestedSDFG"]
+
+
+def _identity_symbol_mapping(node: NestedSDFG) -> bool:
+    for inner_name, outer_expr in node.symbol_mapping.items():
+        if isinstance(outer_expr, Symbol):
+            if outer_expr.name != inner_name:
+                return False
+        elif isinstance(outer_expr, str):
+            if outer_expr != inner_name:
+                return False
+        else:
+            return False
+    return True
+
+
+class InlineNestedSDFG(Transformation):
+    """Splice single-state nested SDFGs into their parent state."""
+
+    @classmethod
+    def matches(cls, sdfg, **options):
+        for state in sdfg.states():
+            scope = state.scope_dict()
+            for node in state.nodes():
+                if not isinstance(node, NestedSDFG):
+                    continue
+                if scope.get(node) is not None:
+                    continue  # nested inside a map scope: leave in place
+                inner = node.sdfg
+                if inner.number_of_states() != 1:
+                    continue
+                if not _identity_symbol_mapping(node):
+                    continue
+                # every boundary memlet must bind the whole container
+                # (our frontend's construction); partial views stay nested
+                ok = True
+                for edge in (list(state.in_edges(node))
+                             + list(state.out_edges(node))):
+                    if edge.memlet.is_empty():
+                        continue
+                    conn = edge.dst_conn if edge.dst is node else edge.src_conn
+                    if conn is None or conn not in inner.arrays:
+                        ok = False
+                        break
+                    outer_desc = sdfg.arrays[edge.memlet.data]
+                    inner_desc = inner.arrays[conn]
+                    if isinstance(outer_desc, Scalar) != isinstance(inner_desc,
+                                                                    Scalar):
+                        ok = False
+                        break
+                    if not isinstance(outer_desc, Scalar) \
+                            and tuple(map(str, outer_desc.shape)) \
+                            != tuple(map(str, inner_desc.shape)):
+                        ok = False
+                        break
+                if ok:
+                    yield (state, node)
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options) -> None:
+        state, node = match
+        inner = node.sdfg
+        inner_state = inner.states()[0]
+
+        # container renaming: arguments -> bound outer containers,
+        # transients -> fresh outer names
+        rename: Dict[str, str] = {}
+        outer_in: Dict[str, AccessNode] = {}
+        outer_out: Dict[str, AccessNode] = {}
+        for edge in state.in_edges(node):
+            if edge.memlet.is_empty() or edge.dst_conn is None:
+                continue
+            rename[edge.dst_conn] = edge.memlet.data
+            if isinstance(edge.src, AccessNode):
+                outer_in[edge.dst_conn] = edge.src
+        for edge in state.out_edges(node):
+            if edge.memlet.is_empty() or edge.src_conn is None:
+                continue
+            rename[edge.src_conn] = edge.memlet.data
+            if isinstance(edge.dst, AccessNode):
+                outer_out[edge.src_conn] = edge.dst
+        for name, desc in inner.arrays.items():
+            if name in rename:
+                continue
+            fresh = sdfg.temp_data_name(f"__inl_{node.label}_")
+            sdfg.add_datadesc(fresh, desc.clone())
+            rename[name] = fresh
+        for sym in inner.symbols:
+            sdfg.add_symbol(sym)
+        sdfg.constants.update(inner.constants)
+
+        # splice nodes (renaming container references)
+        for inner_node in inner_state.nodes():
+            if isinstance(inner_node, AccessNode):
+                inner_node.data = rename[inner_node.data]
+                inner_node.label = inner_node.data
+            state.add_node(inner_node)
+        for edge in inner_state.edges():
+            memlet = edge.memlet
+            if not memlet.is_empty():
+                memlet = memlet.clone()
+                memlet.data = rename[memlet.data]
+            state.add_edge(edge.src, edge.src_conn, edge.dst, edge.dst_conn,
+                           memlet)
+
+        # merge boundary access nodes with the outer endpoints: inner source
+        # nodes of an input read from the outer source node; inner sink nodes
+        # of an output redirect into the outer destination node
+        moved = set(inner_state.nodes())
+        for conn, outer_node in outer_in.items():
+            outer_name = rename[conn]
+            for inner_node in list(moved):
+                if not isinstance(inner_node, AccessNode) \
+                        or inner_node.data != outer_name:
+                    continue
+                if inner_state.in_degree(inner_node) == 0 \
+                        and inner_node in state:
+                    for e in state.out_edges(inner_node):
+                        state.add_edge(outer_node, e.src_conn, e.dst,
+                                       e.dst_conn, e.memlet)
+                        state.remove_edge(e)
+                    if state.in_degree(inner_node) == 0 \
+                            and state.out_degree(inner_node) == 0:
+                        state.remove_node(inner_node)
+        for conn, outer_node in outer_out.items():
+            outer_name = rename[conn]
+            sinks = [n for n in moved
+                     if isinstance(n, AccessNode) and n.data == outer_name
+                     and n in state and inner_state.out_degree(n) == 0
+                     and inner_state.in_degree(n) > 0]
+            for sink in sinks:
+                for e in state.in_edges(sink):
+                    if e.src in moved or e.src is outer_node:
+                        state.add_edge(e.src, e.src_conn, outer_node,
+                                       e.dst_conn, e.memlet)
+                        state.remove_edge(e)
+                if state.in_degree(sink) == 0 and state.out_degree(sink) == 0:
+                    state.remove_node(sink)
+
+        # detach and remove the nested node
+        for edge in (list(state.in_edges(node)) + list(state.out_edges(node))):
+            state.remove_edge(edge)
+        state.remove_node(node)

@@ -1,0 +1,85 @@
+"""MapCollapse: merge perfectly-nested maps into one multidimensional map
+(§3.1 (1)).  Increases GPU parallelism as a by-product, per the paper."""
+
+from __future__ import annotations
+
+from ...ir.nodes import Map, MapEntry, MapExit
+from ...symbolic import Range, Symbol
+from ..base import Transformation
+
+__all__ = ["MapCollapse"]
+
+
+class MapCollapse(Transformation):
+    """Collapse ``outer{ inner{ body } }`` into ``outer+inner{ body }``."""
+
+    @classmethod
+    def matches(cls, sdfg, **options):
+        for state in sdfg.states():
+            scope = state.scope_dict()
+            for node in state.nodes():
+                if not isinstance(node, MapEntry):
+                    continue
+                children = [n for n, s in scope.items() if s is node]
+                # direct children must be exactly: one inner entry + our exit
+                inner_entries = [n for n in children if isinstance(n, MapEntry)]
+                rest = [n for n in children
+                        if not isinstance(n, (MapEntry, MapExit))]
+                if len(inner_entries) != 1 or rest:
+                    continue
+                inner = inner_entries[0]
+                # inner bounds must not depend on outer parameters
+                free = {s.name for s in inner.map.range.free_symbols}
+                if free & set(node.map.params):
+                    continue
+                # every edge between outer entry and inner entry must be a
+                # direct connector pass-through
+                direct = all(e.dst is inner for e in state.out_edges(node)) \
+                    and all(e.src is inner.exit_node
+                            for e in state.in_edges(node.exit_node))
+                if not direct:
+                    continue
+                yield (state, node, inner)
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options) -> None:
+        state, outer, inner = match
+        outer_exit = outer.exit_node
+        inner_exit = inner.exit_node
+
+        merged = Map(outer.map.label,
+                     list(outer.map.params) + list(inner.map.params),
+                     Range(list(outer.map.range.dims) + list(inner.map.range.dims)),
+                     schedule=outer.map.schedule)
+        outer.map = merged
+        outer_exit.map = merged
+
+        # bypass the inner entry: outer OUT_x feeds whatever the inner OUT_x fed
+        for edge in state.out_edges(inner):
+            if edge.src_conn and edge.src_conn.startswith("OUT_"):
+                in_conn = "IN_" + edge.src_conn[4:]
+                feeders = [e for e in state.in_edges(inner)
+                           if e.dst_conn == in_conn]
+                for feeder in feeders:
+                    state.add_edge(feeder.src, feeder.src_conn,
+                                   edge.dst, edge.dst_conn, edge.memlet)
+            elif edge.src_conn is None:
+                for feeder in state.in_edges(inner):
+                    if feeder.dst_conn is None:
+                        state.add_edge(feeder.src, None, edge.dst,
+                                       edge.dst_conn, edge.memlet)
+        # bypass the inner exit
+        for edge in state.in_edges(inner_exit):
+            if edge.dst_conn and edge.dst_conn.startswith("IN_"):
+                out_conn = "OUT_" + edge.dst_conn[3:]
+                for drain in state.out_edges(inner_exit):
+                    if drain.src_conn == out_conn:
+                        state.add_edge(edge.src, edge.src_conn,
+                                       drain.dst, drain.dst_conn, edge.memlet)
+            elif edge.dst_conn is None:
+                for drain in state.out_edges(inner_exit):
+                    if drain.src_conn is None:
+                        state.add_edge(edge.src, edge.src_conn, drain.dst,
+                                       None, edge.memlet)
+        state.remove_node(inner)
+        state.remove_node(inner_exit)

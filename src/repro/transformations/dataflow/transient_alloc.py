@@ -1,0 +1,44 @@
+"""Transient allocation mitigation (§3.1 (4)).
+
+Constant-sized small arrays move to the stack; temporaries whose size only
+depends on input parameters become persistent (allocated once at SDFG
+initialization), nearly eliminating dynamic allocation overhead.
+"""
+
+from __future__ import annotations
+
+from ...config import Config
+from ...ir.data import AllocationLifetime, Scalar, StorageType, Stream
+from ..base import Transformation
+
+__all__ = ["TransientAllocationMitigation"]
+
+
+class TransientAllocationMitigation(Transformation):
+    @classmethod
+    def matches(cls, sdfg, **options):
+        limit = Config.get("optimizer.stack_array_limit")
+        input_symbols = {s for s in sdfg.symbols}
+        for name, desc in sdfg.arrays.items():
+            if not desc.transient or isinstance(desc, (Scalar, Stream)):
+                continue
+            if desc.storage != StorageType.Default:
+                continue
+            size = desc.total_size()
+            if size.is_constant:
+                if size.evaluate({}) <= limit:
+                    yield (name, desc, "stack")
+                    continue
+            shape_syms = {s.name for s in desc.free_symbols}
+            if desc.lifetime != AllocationLifetime.Persistent \
+                    and shape_syms <= input_symbols:
+                yield (name, desc, "persistent")
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options) -> None:
+        _name, desc, action = match
+        if action == "stack":
+            desc.storage = StorageType.CPU_Stack
+            desc.lifetime = AllocationLifetime.Persistent
+        else:
+            desc.lifetime = AllocationLifetime.Persistent

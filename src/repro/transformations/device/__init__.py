@@ -1,0 +1,8 @@
+"""Device-specific transformations (§3.1)."""
+
+from .cpu_transform import CPUParallelize
+from .fpga_transform import FPGATransformSDFG, StreamingComposition
+from .gpu_transform import GPUTransformSDFG
+
+__all__ = ["CPUParallelize", "GPUTransformSDFG", "FPGATransformSDFG",
+           "StreamingComposition"]

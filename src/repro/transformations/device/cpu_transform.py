@@ -1,0 +1,29 @@
+"""CPU device pass (§3.1): multicore schedules with OpenMP-collapse
+semantics on top-level maps."""
+
+from __future__ import annotations
+
+from ...ir.nodes import MapEntry, ScheduleType
+from ..base import Transformation
+
+__all__ = ["CPUParallelize"]
+
+
+class CPUParallelize(Transformation):
+    """Schedule top-level maps as CPU_Multicore and collapse all dimensions
+    (the OpenMP ``collapse`` clause analogue)."""
+
+    @classmethod
+    def matches(cls, sdfg, **options):
+        for state in sdfg.states():
+            scope = state.scope_dict()
+            for node in state.nodes():
+                if isinstance(node, MapEntry) and scope.get(node) is None \
+                        and node.map.schedule == ScheduleType.Default:
+                    yield (state, node)
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options) -> None:
+        _state, entry = match
+        entry.map.schedule = ScheduleType.CPU_Multicore
+        entry.map.collapse = len(entry.map.params)

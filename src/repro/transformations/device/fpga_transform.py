@@ -1,0 +1,84 @@
+"""FPGATransformSDFG and StreamingComposition (§3.1).
+
+``FPGATransformSDFG`` schedules maps as pipelines and moves arrays to
+off-chip (DRAM) storage.  ``StreamingComposition`` then finds
+producer/consumer map pairs connected through a transient that is written
+and read in the same sequential order, and converts the intermediate into an
+on-chip FIFO stream — the connected components then form pipelined units
+that stream memory instead of bouncing through DRAM, enabling systolic
+behaviour during hardware specialization.  The FPGA performance model
+(:mod:`repro.runtime.fpga`) charges DRAM round-trips only for
+non-streamed containers.
+"""
+
+from __future__ import annotations
+
+from ...ir.data import Scalar, StorageType, Stream
+from ...ir.nodes import AccessNode, MapEntry, MapExit, ScheduleType
+from ..base import Transformation
+
+__all__ = ["FPGATransformSDFG", "StreamingComposition"]
+
+
+class FPGATransformSDFG(Transformation):
+    @classmethod
+    def matches(cls, sdfg, **options):
+        pending_maps = []
+        for state in sdfg.states():
+            scope = state.scope_dict()
+            for node in state.nodes():
+                if isinstance(node, MapEntry) and scope.get(node) is None \
+                        and node.map.schedule != ScheduleType.FPGA_Pipeline:
+                    pending_maps.append((state, node))
+        pending_data = [
+            desc for desc in sdfg.arrays.values()
+            if not isinstance(desc, (Scalar, Stream))
+            and desc.storage == StorageType.Default
+        ]
+        if pending_maps or pending_data:
+            yield (pending_maps, pending_data)
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options) -> None:
+        pending_maps, pending_data = match
+        for _state, entry in pending_maps:
+            entry.map.schedule = ScheduleType.FPGA_Pipeline
+        for desc in pending_data:
+            desc.storage = StorageType.FPGA_Global
+
+
+class StreamingComposition(Transformation):
+    """Convert map-to-map transients into on-chip streams when the consumer
+    reads elements in the exact order the producer writes them."""
+
+    @classmethod
+    def matches(cls, sdfg, **options):
+        from .map_fusion_helpers import same_order_streaming_candidate
+
+        for state in sdfg.states():
+            scope = state.scope_dict()
+            for node in state.data_nodes():
+                desc = sdfg.arrays.get(node.data)
+                if desc is None or not desc.transient \
+                        or isinstance(desc, (Scalar, Stream)):
+                    continue
+                if getattr(desc, "fpga_streamed", False):
+                    continue
+                if scope.get(node) is not None:
+                    continue
+                producers = [e for e in state.in_edges(node)
+                             if isinstance(e.src, MapExit)]
+                consumers = [e for e in state.out_edges(node)
+                             if isinstance(e.dst, MapEntry)]
+                if len(producers) != 1 or len(consumers) != 1:
+                    continue
+                if same_order_streaming_candidate(
+                        state, producers[0], consumers[0]):
+                    yield (sdfg, node.data)
+
+    @classmethod
+    def apply_match(cls, sdfg_unused, match, **options) -> None:
+        sdfg, name = match
+        desc = sdfg.arrays[name]
+        desc.storage = StorageType.FPGA_Local
+        desc.fpga_streamed = True  # read by the FPGA performance model

@@ -1,0 +1,44 @@
+"""GPUTransformSDFG (§3.1): map the program onto the (simulated) GPU.
+
+Top-level maps become GPU kernels (``GPU_Device`` schedule) and transient
+arrays move to device-global memory.  Host<->device transfers of the
+non-transient arguments are accounted by the GPU performance model
+(:mod:`repro.runtime.gpu`), which reads the storage/schedule annotations this
+pass sets — the functional execution is unchanged (the simulated device
+computes with NumPy).
+"""
+
+from __future__ import annotations
+
+from ...ir.data import Scalar, StorageType, Stream
+from ...ir.nodes import MapEntry, ScheduleType
+from ..base import Transformation
+
+__all__ = ["GPUTransformSDFG"]
+
+
+class GPUTransformSDFG(Transformation):
+    @classmethod
+    def matches(cls, sdfg, **options):
+        pending_maps = []
+        for state in sdfg.states():
+            scope = state.scope_dict()
+            for node in state.nodes():
+                if isinstance(node, MapEntry) and scope.get(node) is None \
+                        and node.map.schedule != ScheduleType.GPU_Device:
+                    pending_maps.append((state, node))
+        pending_data = [
+            (name, desc) for name, desc in sdfg.arrays.items()
+            if desc.transient and not isinstance(desc, (Scalar, Stream))
+            and desc.storage not in (StorageType.GPU_Global, StorageType.CPU_Stack)
+        ]
+        if pending_maps or pending_data:
+            yield (pending_maps, pending_data)
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options) -> None:
+        pending_maps, pending_data = match
+        for _state, entry in pending_maps:
+            entry.map.schedule = ScheduleType.GPU_Device
+        for _name, desc in pending_data:
+            desc.storage = StorageType.GPU_Global

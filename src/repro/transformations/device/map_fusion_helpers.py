@@ -1,0 +1,38 @@
+"""Shared analysis helpers for device transformations."""
+
+from __future__ import annotations
+
+from ...ir.nodes import MapEntry, MapExit
+
+
+def same_order_streaming_candidate(state, producer_edge, consumer_edge) -> bool:
+    """True when the producer writes and the consumer reads the intermediate
+    transient element-by-element over equal iteration spaces — the memory can
+    then stream through a FIFO in write order (§3.1 FPGA)."""
+    exit1: MapExit = producer_edge.src
+    entry2: MapEntry = consumer_edge.dst
+    r1 = exit1.entry_node.map.range
+    r2 = entry2.map.range
+    if r1.ndim != r2.ndim:
+        return False
+    if any(d1 != d2 for d1, d2 in zip(r1.dims, r2.dims)):
+        return False
+    name = producer_edge.memlet.data
+    # inner writes/reads must be single elements indexed by the map params in
+    # canonical order (same linear order on both sides)
+    writes = [e.memlet for e in state.in_edges(exit1)
+              if not e.memlet.is_empty() and e.memlet.data == name]
+    reads = [e.memlet for e in state.out_edges(entry2)
+             if not e.memlet.is_empty() and e.memlet.data == name]
+    if len(writes) != 1 or len(reads) != 1:
+        return False
+    w, r = writes[0], reads[0]
+    if w.wcr is not None or w.dynamic or r.dynamic:
+        return False
+    if w.subset.is_point() is not True or r.subset.is_point() is not True:
+        return False
+    w_idx = [str(b) for b, _e, _s in w.subset.dims]
+    r_idx = [str(b) for b, _e, _s in r.subset.dims]
+    p1 = list(exit1.entry_node.map.params)
+    p2 = list(entry2.map.params)
+    return w_idx == p1 and r_idx == p2

@@ -1,0 +1,7 @@
+"""Distributed-memory transformations (§4)."""
+
+from .distribute import (DeduplicateComm, DistributeElementWiseArrayOp,
+                         RemoveRedundantComm)
+
+__all__ = ["DistributeElementWiseArrayOp", "RemoveRedundantComm",
+           "DeduplicateComm"]

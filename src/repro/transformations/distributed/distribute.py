@@ -1,0 +1,515 @@
+"""Distributed-memory transformations (§4.1-§4.2).
+
+* :class:`DistributeElementWiseArrayOp` — converts a shared-memory
+  element-wise map into scatter -> local map -> gather (Fig. 10), with a
+  configurable layout (1-D block for contiguous arrays, 2-D grid blocks when
+  the result feeds matrix operations — the paper's block-size parameters).
+* ``PBLAS`` expansion of MatMul — registered on the library node; expands to
+  grid scatters + a SUMMA/pgemv tasklet + gather (§4.1 "Distributing Library
+  Nodes").
+* :class:`RemoveRedundantComm` — eliminates gather-then-scatter round trips
+  of matching distributions (Fig. 11).
+* :class:`DeduplicateComm` — merges repeated scatters of the same container
+  and layout (common-subexpression elimination on communication).
+
+Rank-local container shapes use the reserved symbols ``__P`` (world size),
+``__GR0`` and ``__GR1`` (grid dimensions), bound automatically by
+:func:`repro.distributed.run_distributed`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.data import Scalar
+from ...ir.memlet import Memlet
+from ...ir.nodes import AccessNode, MapEntry, MapExit, Tasklet
+from ...library.blas import MatMul
+from ...library.registry import register_expansion, set_priority
+from ...symbolic import Expr, Integer, Range, Symbol
+from ..base import Transformation
+
+__all__ = ["DistributeElementWiseArrayOp", "RemoveRedundantComm",
+           "DeduplicateComm", "GRID_ROWS", "GRID_COLS", "WORLD_SIZE"]
+
+WORLD_SIZE = Symbol("__P", positive=True)
+GRID_ROWS = Symbol("__GR0", positive=True)
+GRID_COLS = Symbol("__GR1", positive=True)
+
+
+def _install_dist_constants(sdfg) -> None:
+    from ...distributed import comm_api, lib_rt
+
+    sdfg.constants.setdefault("__comm_BlockScatter", comm_api.BlockScatter)
+    sdfg.constants.setdefault("__comm_BlockGather", comm_api.BlockGather)
+    sdfg.constants.setdefault("__pblas_pgemm", lib_rt.pgemm_rt)
+    sdfg.constants.setdefault("__pblas_pgemv", lib_rt.pgemv_rt)
+
+
+def _local_shape(shape: Tuple[Expr, ...], layout: str) -> Tuple[Expr, ...]:
+    if layout == "row":
+        return (shape[0] // WORLD_SIZE,) + tuple(shape[1:])
+    if layout == "grid":
+        dims = [shape[0] // GRID_ROWS]
+        if len(shape) > 1:
+            dims.append(shape[1] // GRID_COLS)
+            dims.extend(shape[2:])
+        return tuple(dims)
+    if layout == "replicate":
+        return tuple(shape)
+    raise ValueError(f"unknown layout {layout!r}")
+
+
+def _shape_code(shape: Tuple[Expr, ...]) -> str:
+    return "(" + ", ".join(f"({s})" for s in shape) + ",)"
+
+
+def _add_scatter(sdfg, state, global_name: str, layout: str,
+                 local_name: Optional[str] = None,
+                 global_node: Optional[AccessNode] = None) -> AccessNode:
+    """Insert ``global -> scatter tasklet -> local`` and return the local
+    access node.  Reuses *local_name* if that container already exists, and
+    reads from *global_node* (keeping ordering with earlier producers) when
+    given."""
+    _install_dist_constants(sdfg)
+    desc = sdfg.arrays[global_name]
+    lshape = _local_shape(desc.shape, layout)
+    if local_name is None or local_name not in sdfg.arrays:
+        if local_name is None:
+            local_name = sdfg.temp_data_name(f"__l{global_name}_")
+        local_desc = sdfg.add_transient(local_name, lshape, desc.dtype)
+        local_desc.dist_layout = layout
+        local_desc.dist_global = global_name
+    tasklet = state.add_tasklet(
+        f"scatter_{global_name}", {"__g"}, {"__out"},
+        f"__out = __comm_BlockScatter(__g, {_shape_code(lshape)}, "
+        f"layout={layout!r})")
+    tasklet.comm_op = {"kind": "scatter", "layout": layout,
+                       "global": global_name, "local": local_name}
+    if global_node is None:
+        global_node = state.add_read(global_name)
+    state.add_edge(global_node, None, tasklet, "__g",
+                   Memlet(global_name, Range.from_shape(desc.shape),
+                          dynamic=True))
+    local_node = state.add_access(local_name)
+    state.add_edge(tasklet, "__out", local_node, None,
+                   Memlet(local_name, Range.from_shape(lshape)))
+    return local_node
+
+
+def _add_gather(sdfg, state, local_node: AccessNode, global_name: str,
+                layout: str,
+                global_node: Optional[AccessNode] = None) -> AccessNode:
+    _install_dist_constants(sdfg)
+    desc = sdfg.arrays[global_name]
+    local_desc = sdfg.arrays[local_node.data]
+    tasklet = state.add_tasklet(
+        f"gather_{global_name}", {"__l"}, {"__out"},
+        f"__out = __comm_BlockGather(__l, {_shape_code(desc.shape)}, "
+        f"layout={layout!r})")
+    tasklet.comm_op = {"kind": "gather", "layout": layout,
+                       "global": global_name, "local": local_node.data}
+    state.add_edge(local_node, None, tasklet, "__l",
+                   Memlet(local_node.data, Range.from_shape(local_desc.shape),
+                          dynamic=True))
+    if global_node is None:
+        global_node = state.add_access(global_name)
+    state.add_edge(tasklet, "__out", global_node, None,
+                   Memlet(global_name, Range.from_shape(desc.shape)))
+    return global_node
+
+
+
+def _rename_container_in_state(state, old: str, new: str) -> None:
+    """Rewrite every memlet in *state* referencing *old* to reference *new*
+    (same shape/layout by construction)."""
+    for edge in state.edges():
+        if edge.memlet.data == old:
+            new_memlet = edge.memlet.clone()
+            new_memlet.data = new
+            state.add_edge(edge.src, edge.src_conn, edge.dst, edge.dst_conn,
+                           new_memlet)
+            state.remove_edge(edge)
+
+
+class DistributeElementWiseArrayOp(Transformation):
+    """Scatter-compute-gather distribution of element-wise maps (Fig. 10)."""
+
+    @classmethod
+    def matches(cls, sdfg, layout: str = "grid", **options):
+        for state in sdfg.states():
+            scope = state.scope_dict()
+            for node in state.nodes():
+                if not isinstance(node, MapEntry) or scope.get(node) is not None:
+                    continue
+                if getattr(node.map, "distributed", False):
+                    continue
+                plan = cls._analyze(sdfg, state, node, layout)
+                if plan is not None:
+                    yield plan
+
+    @classmethod
+    def _analyze(cls, sdfg, state, entry: MapEntry, layout: str):
+        exit_ = entry.exit_node
+        params = list(entry.map.params)
+        sizes = entry.map.range.size()
+        # find the parameter order from an output memlet with identity indices
+        arrays: Dict[str, bool] = {}      # container -> is_output
+        for edge in state.edges():
+            memlet = edge.memlet
+            if memlet.is_empty():
+                continue
+            # boundary hull edges (access->entry, exit->access) carry the
+            # full-shape bookkeeping subset; analyze the precise inner edges
+            if isinstance(edge.src, AccessNode) and edge.dst is entry:
+                if memlet.dynamic:
+                    return None
+                desc0 = sdfg.arrays[memlet.data]
+                if not isinstance(desc0, Scalar):
+                    arrays.setdefault(memlet.data, False)
+                continue
+            if edge.src is exit_ and isinstance(edge.dst, AccessNode):
+                if memlet.dynamic:
+                    return None
+                arrays[memlet.data] = True
+                continue
+            involved = (edge.src is entry or edge.dst is exit_
+                        or state.scope_dict().get(edge.src) is entry
+                        or state.scope_dict().get(edge.dst) is entry)
+            if not involved:
+                continue
+            if memlet.dynamic or memlet.wcr is not None:
+                return None
+            desc = sdfg.arrays[memlet.data]
+            if isinstance(desc, Scalar):
+                continue
+            if desc.transient and hasattr(desc, "dist_layout"):
+                return None  # already local data
+            # identity point indices required: index d == param d
+            if memlet.subset.ndim != len(params):
+                return None
+            for d, (begin, end, step) in enumerate(memlet.subset.dims):
+                if begin != Symbol(params[d], nonnegative=False) or begin != end:
+                    return None
+            # shape must equal the iteration space
+            for s_dim, r_dim in zip(desc.shape, sizes):
+                if s_dim != r_dim:
+                    return None
+            is_output = isinstance(edge.dst, MapExit)
+            arrays[memlet.data] = arrays.get(memlet.data, False) or is_output
+        if not arrays:
+            return None
+        ndim = len(params)
+        if layout == "grid" and ndim == 1:
+            layout = "row"
+        if layout == "grid" and ndim != 2:
+            return None
+        return (state, entry, arrays, layout)
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options) -> None:
+        state, entry, arrays, layout = match
+        exit_ = entry.exit_node
+        params = list(entry.map.params)
+
+        locals_of: Dict[str, str] = {}
+        for name, is_output in arrays.items():
+            desc = sdfg.arrays[name]
+            lshape = _local_shape(desc.shape, layout)
+            local_name = sdfg.temp_data_name(f"__l{name}_")
+            local_desc = sdfg.add_transient(local_name, lshape, desc.dtype)
+            local_desc.dist_layout = layout
+            local_desc.dist_global = name
+            locals_of[name] = local_name
+
+        # rewrite all scope memlets to the local containers
+        scope = state.scope_dict()
+        for edge in state.edges():
+            memlet = edge.memlet
+            if memlet.is_empty() or memlet.data not in locals_of:
+                continue
+            involved = (edge.src is entry or edge.dst is exit_
+                        or scope.get(edge.src) is entry
+                        or scope.get(edge.dst) is entry)
+            if not involved:
+                continue
+            local_name = locals_of[memlet.data]
+            if edge.src is entry or edge.dst is exit_ \
+                    or scope.get(edge.src) is entry or scope.get(edge.dst) is entry:
+                new_memlet = Memlet(local_name, memlet.subset, wcr=memlet.wcr)
+                state.add_edge(edge.src, edge.src_conn, edge.dst, edge.dst_conn,
+                               new_memlet)
+                state.remove_edge(edge)
+
+        # rewire boundary edges: scatters feed the entry, exit feeds gathers
+        for edge in state.in_edges(entry):
+            if edge.memlet.is_empty() or isinstance(edge.src, Tasklet):
+                continue
+            if not isinstance(edge.src, AccessNode):
+                continue
+            name = edge.src.data
+            if name not in locals_of:
+                continue
+            declared = locals_of[name]
+            local_node = _add_scatter(sdfg, state, name, layout,
+                                      local_name=declared,
+                                      global_node=edge.src)
+            local_desc = sdfg.arrays[declared]
+            state.add_edge(local_node, None, entry, edge.dst_conn,
+                           Memlet(declared, Range.from_shape(local_desc.shape)))
+            state.remove_edge(edge)
+            if state.in_degree(edge.src) == 0 and state.out_degree(edge.src) == 0:
+                state.remove_node(edge.src)
+
+        for edge in state.out_edges(exit_):
+            if edge.memlet.is_empty() or not isinstance(edge.dst, AccessNode):
+                continue
+            name = edge.dst.data
+            if name not in locals_of:
+                continue
+            declared = locals_of[name]
+            local_desc = sdfg.arrays[declared]
+            local_node = state.add_access(declared)
+            state.add_edge(exit_, edge.src_conn, local_node, None,
+                           Memlet(declared, Range.from_shape(local_desc.shape)))
+            # gather back into the ORIGINAL output node so downstream
+            # consumers stay ordered after the gather
+            _add_gather(sdfg, state, local_node, name, layout,
+                        global_node=edge.dst)
+            state.remove_edge(edge)
+
+        # shrink the iteration space to the local block
+        first_local = sdfg.arrays[next(iter(locals_of.values()))]
+        new_dims = [(Integer(0), s - 1, Integer(1)) for s in first_local.shape]
+        entry.map.range = Range(new_dims)
+        entry.exit_node.map.range = entry.map.range
+        entry.map.distributed = True
+
+
+class RemoveRedundantComm(Transformation):
+    """Drop gather-then-scatter round trips of matching distributions
+    (Fig. 11): consumers read the producer's local blocks directly."""
+
+    @classmethod
+    def matches(cls, sdfg, **options):
+        for state in sdfg.states():
+            for node in state.nodes():
+                if not isinstance(node, Tasklet):
+                    continue
+                op = getattr(node, "comm_op", None)
+                if op is None or op["kind"] != "gather":
+                    continue
+                out_edges = state.out_edges(node)
+                if len(out_edges) != 1:
+                    continue
+                global_node = out_edges[0].dst
+                if not isinstance(global_node, AccessNode):
+                    continue
+                desc = sdfg.arrays[global_node.data]
+                if not desc.transient:
+                    continue  # program outputs must be gathered
+                consumers = state.out_edges(global_node)
+                if not consumers:
+                    continue
+                scatters = []
+                for consumer in consumers:
+                    c_op = getattr(consumer.dst, "comm_op", None)
+                    if c_op is None or c_op["kind"] != "scatter" \
+                            or c_op["layout"] != op["layout"]:
+                        scatters = None
+                        break
+                    scatters.append(consumer.dst)
+                if not scatters:
+                    continue
+                # the global must not be used in any other state
+                used_elsewhere = any(
+                    n.data == global_node.data
+                    for st in sdfg.states() if st is not state
+                    for n in st.data_nodes())
+                if used_elsewhere:
+                    continue
+                yield (state, node, global_node, scatters)
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options) -> None:
+        state, gather, global_node, scatters = match
+        # the gather's input local node supplies the data directly
+        local_in = [e.src for e in state.in_edges(gather)
+                    if isinstance(e.src, AccessNode)][0]
+        for scatter in scatters:
+            for out_edge in state.out_edges(scatter):
+                target_local = out_edge.dst
+                name = target_local.data
+                # redirect all consumers of the scatter's local output to the
+                # producer's local node
+                for consumer_edge in state.out_edges(target_local):
+                    state.add_edge(local_in, consumer_edge.src_conn,
+                                   consumer_edge.dst, consumer_edge.dst_conn,
+                                   consumer_edge.memlet)
+                    state.remove_edge(consumer_edge)
+                state.remove_edge(out_edge)
+                if state.in_degree(target_local) == 0 \
+                        and state.out_degree(target_local) == 0:
+                    state.remove_node(target_local)
+                # rename every remaining memlet (e.g. inner scope edges)
+                _rename_container_in_state(state, name, local_in.data)
+                if not any(n.data == name for st in sdfg.states()
+                           for n in st.data_nodes()):
+                    if name in sdfg.arrays and sdfg.arrays[name].transient:
+                        del sdfg.arrays[name]
+            for in_edge in state.in_edges(scatter):
+                state.remove_edge(in_edge)
+            state.remove_node(scatter)
+        # remove the gather and the intermediate global container
+        for edge in list(state.in_edges(gather)) + list(state.out_edges(gather)):
+            state.remove_edge(edge)
+        state.remove_node(gather)
+        name = global_node.data
+        if state.in_degree(global_node) == 0 and state.out_degree(global_node) == 0:
+            state.remove_node(global_node)
+        if not any(n.data == name for st in sdfg.states()
+                   for n in st.data_nodes()):
+            if name in sdfg.arrays and sdfg.arrays[name].transient:
+                del sdfg.arrays[name]
+
+
+class DeduplicateComm(Transformation):
+    """Merge repeated scatters of the same container and layout."""
+
+    @classmethod
+    def matches(cls, sdfg, **options):
+        for state in sdfg.states():
+            seen: Dict[Tuple[str, str], Tasklet] = {}
+            for node in state.topological_nodes():
+                if not isinstance(node, Tasklet):
+                    continue
+                op = getattr(node, "comm_op", None)
+                if op is None or op["kind"] != "scatter":
+                    continue
+                key = (op["global"], op["layout"])
+                if key in seen:
+                    yield (state, seen[key], node)
+                    return
+                seen[key] = node
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options) -> None:
+        state, keeper, duplicate = match
+        keeper_local = [e.dst for e in state.out_edges(keeper)
+                        if isinstance(e.dst, AccessNode)][0]
+        for out_edge in state.out_edges(duplicate):
+            dup_local = out_edge.dst
+            name = dup_local.data
+            for consumer_edge in state.out_edges(dup_local):
+                state.add_edge(keeper_local, consumer_edge.src_conn,
+                               consumer_edge.dst, consumer_edge.dst_conn,
+                               consumer_edge.memlet)
+                state.remove_edge(consumer_edge)
+            state.remove_edge(out_edge)
+            if state.in_degree(dup_local) == 0 and state.out_degree(dup_local) == 0:
+                state.remove_node(dup_local)
+            if name != keeper_local.data:
+                _rename_container_in_state(state, name, keeper_local.data)
+                if not any(n.data == name for st in sdfg.states()
+                           for n in st.data_nodes()):
+                    if name in sdfg.arrays and sdfg.arrays[name].transient:
+                        del sdfg.arrays[name]
+        for in_edge in state.in_edges(duplicate):
+            state.remove_edge(in_edge)
+            src = in_edge.src
+            if isinstance(src, AccessNode) and state.in_degree(src) == 0 \
+                    and state.out_degree(src) == 0:
+                state.remove_node(src)
+        state.remove_node(duplicate)
+
+
+# ---------------------------------------------------------------------------
+# PBLAS expansion for MatMul (§4.1 "Distributing Library Nodes")
+# ---------------------------------------------------------------------------
+
+@register_expansion(MatMul, "PBLAS")
+def _expand_matmul_pblas(node: MatMul, sdfg, state):
+    _install_dist_constants(sdfg)
+    ins = {e.dst_conn: e for e in state.in_edges(node) if e.dst_conn}
+    outs = {e.src_conn: e for e in state.out_edges(node) if e.src_conn}
+    a_name = ins["_a"].memlet.data
+    b_name = ins["_b"].memlet.data
+    c_name = outs["_c"].memlet.data
+    a_desc = sdfg.arrays[a_name]
+    b_desc = sdfg.arrays[b_name]
+    c_desc = sdfg.arrays[c_name]
+
+    if a_desc.ndim == 2 and b_desc.ndim == 2:
+        M, K = a_desc.shape
+        N = b_desc.shape[1]
+        la = _add_scatter(sdfg, state, a_name, "grid",
+                          global_node=ins["_a"].src
+                          if isinstance(ins["_a"].src, AccessNode) else None)
+        lb = _add_scatter(sdfg, state, b_name, "grid",
+                          global_node=ins["_b"].src
+                          if isinstance(ins["_b"].src, AccessNode) else None)
+        lc_name = sdfg.temp_data_name(f"__l{c_name}_")
+        lc_shape = _local_shape(c_desc.shape, "grid")
+        lc_desc = sdfg.add_transient(lc_name, lc_shape, c_desc.dtype)
+        lc_desc.dist_layout = "grid"
+        lc_desc.dist_global = c_name
+        tasklet = state.add_tasklet(
+            "pgemm", {"__a", "__b"}, {"__c"},
+            f"__c = __pblas_pgemm(__a, __b, (({M}), ({K}), ({N})))")
+        tasklet.comm_op = {"kind": "pgemm", "layout": "grid",
+                           "global": c_name, "local": lc_name}
+        state.add_edge(la, None, tasklet, "__a",
+                       Memlet(la.data, Range.from_shape(sdfg.arrays[la.data].shape),
+                              dynamic=True))
+        state.add_edge(lb, None, tasklet, "__b",
+                       Memlet(lb.data, Range.from_shape(sdfg.arrays[lb.data].shape),
+                              dynamic=True))
+        lc_node = state.add_access(lc_name)
+        state.add_edge(tasklet, "__c", lc_node, None,
+                       Memlet(lc_name, Range.from_shape(lc_shape)))
+        orig_c = outs["_c"].dst
+        state.remove_node(node)
+        _add_gather(sdfg, state, lc_node, c_name, "grid",
+                    global_node=orig_c if isinstance(orig_c, AccessNode) else None)
+        for acc in (ins["_a"].src, ins["_b"].src):
+            if acc in state and state.in_degree(acc) == 0 \
+                    and state.out_degree(acc) == 0:
+                state.remove_node(acc)
+        return tasklet
+
+    # matrix-vector (and transposed): A grid-distributed, x replicated
+    transpose = a_desc.ndim == 1
+    mat_name, vec_name = (b_name, a_name) if transpose else (a_name, b_name)
+    mat_desc = sdfg.arrays[mat_name]
+    M, N = mat_desc.shape
+    mat_edge = ins["_a"] if not transpose else ins["_b"]
+    lm = _add_scatter(sdfg, state, mat_name, "grid",
+                      global_node=mat_edge.src
+                      if isinstance(mat_edge.src, AccessNode) else None)
+    vec_desc = sdfg.arrays[vec_name]
+    tasklet = state.add_tasklet(
+        "pgemv", {"__a", "__x"}, {"__y"},
+        f"__y = __pblas_pgemv(__a, __x, (({M}), ({N})), "
+        f"transpose={transpose!r})")
+    tasklet.comm_op = {"kind": "pgemv", "layout": "grid",
+                       "global": c_name, "local": None}
+    state.add_edge(lm, None, tasklet, "__a",
+                   Memlet(lm.data, Range.from_shape(sdfg.arrays[lm.data].shape),
+                          dynamic=True))
+    vec_edge = ins["_b"] if not transpose else ins["_a"]
+    vec_node = (vec_edge.src if isinstance(vec_edge.src, AccessNode)
+                else state.add_read(vec_name))
+    state.add_edge(vec_node, None, tasklet, "__x",
+                   Memlet(vec_name, Range.from_shape(vec_desc.shape),
+                          dynamic=True))
+    state.add_edge(tasklet, "__y", outs["_c"].dst, outs["_c"].dst_conn,
+                   Memlet(c_name, Range.from_shape(c_desc.shape)))
+    state.remove_node(node)
+    for acc in (ins["_a"].src, ins["_b"].src):
+        if acc in state and state.in_degree(acc) == 0 \
+                and state.out_degree(acc) == 0:
+            state.remove_node(acc)
+    return tasklet
+
+
+set_priority(MatMul, "distributed", ["PBLAS"])

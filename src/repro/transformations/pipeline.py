@@ -1,0 +1,54 @@
+"""Transformation pipelines.
+
+``simplify_pass`` is the paper's dataflow-coarsening pass (§2.4, the -O1
+analogue): a fixed set of transformations that only modify or remove graph
+elements, so the pass terminates.  ``auto_optimize`` (§3.1) lives in
+:mod:`repro.autoopt` and builds on these.
+"""
+
+from __future__ import annotations
+
+from .base import Transformation
+from .dataflow.cleanup import (
+    DeadDataflowElimination,
+    DegenerateMapRemoval,
+    EmptyStateRemoval,
+)
+from .dataflow.inline_nested import InlineNestedSDFG
+from .dataflow.redundant_copy import RedundantReadCopy, RedundantWriteCopy
+from .dataflow.state_fusion import StateFusion
+
+__all__ = ["simplify_pass", "SIMPLIFY_TRANSFORMATIONS"]
+
+#: the coarsening pass members, in application order
+SIMPLIFY_TRANSFORMATIONS = [
+    EmptyStateRemoval,
+    StateFusion,
+    InlineNestedSDFG,
+    RedundantReadCopy,
+    RedundantWriteCopy,
+    DegenerateMapRemoval,
+    DeadDataflowElimination,
+]
+
+
+def simplify_pass(sdfg) -> int:
+    """Run the coarsening transformations to a fixed point; returns the
+    total number of applications."""
+    from ..ir.nodes import NestedSDFG
+
+    # nested SDFGs coarsen first, so single-state callees become inlinable
+    total = 0
+    for state in sdfg.states():
+        for node in state.nodes():
+            if isinstance(node, NestedSDFG):
+                total += simplify_pass(node.sdfg)
+    changed = True
+    while changed:
+        changed = False
+        for transformation in SIMPLIFY_TRANSFORMATIONS:
+            applied = transformation.apply_repeated(sdfg)
+            if applied:
+                total += applied
+                changed = True
+    return total

@@ -1,0 +1,184 @@
+"""Tests for the comparator frameworks (S15) and the measurement kit (S17)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.daskish import DaskishScheduler, from_array
+from repro.baselines.legateish import LegateishRuntime
+from repro.perf import (Measurement, bootstrap_ci, geomean, measure_callable,
+                        median_ci, speedup_table, scaling_table, summarize)
+
+
+class TestDaskish:
+    def test_elementwise(self):
+        data = np.arange(12, dtype=np.float64)
+        arr = from_array(data, 4)
+        result = ((arr + 1.0) * 2.0).compute()
+        assert np.allclose(result, (data + 1) * 2)
+
+    def test_array_array_ops(self):
+        a = np.arange(8, dtype=np.float64)
+        b = np.ones(8)
+        sched = DaskishScheduler()
+        da = from_array(a, 4, sched)
+        db = from_array(b, 4, sched)
+        assert np.allclose((da - db).compute(), a - b)
+
+    def test_chunked_matmul(self):
+        rng = np.random.default_rng(0)
+        A = rng.random((8, 6))
+        B = rng.random((6, 4))
+        sched = DaskishScheduler(workers=4)
+        result = (from_array(A, (4, 3), sched) @ from_array(B, (3, 2), sched)
+                  ).compute()
+        assert np.allclose(result, A @ B)
+
+    def test_matvec(self):
+        rng = np.random.default_rng(1)
+        A = rng.random((6, 9))
+        x = rng.random(9)
+        sched = DaskishScheduler()
+        result = (from_array(A, (3, 9), sched) @ from_array(x, 9, sched)
+                  ).compute()
+        assert np.allclose(result, A @ x)
+
+    def test_transpose_and_sum(self):
+        A = np.arange(6, dtype=np.float64).reshape(2, 3)
+        sched = DaskishScheduler()
+        arr = from_array(A, (1, 3), sched)
+        assert np.allclose(arr.T.compute(), A.T)
+        assert np.allclose(arr.sum().compute(), A.sum())
+
+    def test_shift_with_halo(self):
+        data = np.arange(8, dtype=np.float64)
+        arr = from_array(data, 4)
+        fwd = arr.shift(1).compute()
+        assert np.allclose(fwd[:-1], data[1:])
+        assert fwd[-1] == 0.0
+        back = arr.shift(-1).compute()
+        assert np.allclose(back[1:], data[:-1])
+
+    def test_scheduler_charges_per_task(self):
+        data = np.arange(64, dtype=np.float64)
+        few = DaskishScheduler()
+        many = DaskishScheduler()
+        (from_array(data, 32, few) + 1.0).compute()
+        (from_array(data, 4, many) + 1.0).compute()
+        assert many.tasks_run > few.tasks_run
+        assert many.modeled_time > few.modeled_time
+
+    def test_cross_worker_transfers_counted(self):
+        rng = np.random.default_rng(2)
+        A, B = rng.random((8, 8)), rng.random((8, 8))
+        sched = DaskishScheduler(workers=4)
+        (from_array(A, (4, 4), sched) @ from_array(B, (4, 4), sched)).compute()
+        assert sched.bytes_moved > 0
+
+
+class TestLegateish:
+    def test_numpy_semantics(self):
+        rng = np.random.default_rng(0)
+        runtime = LegateishRuntime(nodes=2)
+        A = runtime.array(rng.random((6, 6)))
+        x = runtime.array(rng.random(6))
+        y = (A @ x) + 1.0
+        assert np.allclose(y.numpy(), A.data @ x.data + 1)
+
+    def test_per_op_overhead(self):
+        runtime = LegateishRuntime()
+        a = runtime.array(np.ones(4))
+        before = runtime.modeled_time
+        _ = a + a
+        _ = a * 2.0
+        assert runtime.operations == 2
+        assert runtime.modeled_time > before
+
+    def test_blas_cheaper_per_flop_than_elementwise(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((64, 64))
+        r1 = LegateishRuntime()
+        _ = r1.array(data) @ r1.array(data)
+        blas_time_per_flop = r1.modeled_time / (2 * 64 ** 3)
+        r2 = LegateishRuntime()
+        _ = r2.array(data) + r2.array(data)
+        ew_time_per_flop = r2.modeled_time / (64 ** 2)
+        assert blas_time_per_flop < ew_time_per_flop
+
+    def test_setitem_getitem(self):
+        runtime = LegateishRuntime()
+        a = runtime.array(np.zeros(5))
+        a[1:3] = 7.0
+        assert np.allclose(a.numpy(), [0, 7, 7, 0, 0])
+
+
+class TestStats:
+    def test_median_ci_small_sample(self):
+        med, low, high = median_ci([3.0, 1.0, 2.0])
+        assert med == 2.0 and low == 1.0 and high == 3.0
+
+    def test_median_ci_order_statistics(self):
+        data = list(range(1, 101))
+        med, low, high = median_ci(data)
+        assert med == pytest.approx(50.5)
+        assert low < med < high
+
+    def test_bootstrap_ci_contains_median(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 1.0, size=30)
+        med, low, high = bootstrap_ci(samples)
+        assert low <= med <= high
+
+    def test_bootstrap_deterministic(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(samples) == bootstrap_ci(samples)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geomean_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0, -1.0]) == pytest.approx(4.0)
+
+    def test_summarize_ci_percent(self):
+        m = summarize([1.0] * 10)
+        assert m.ci_percent == pytest.approx(0.0)
+
+    def test_measure_callable(self):
+        m = measure_callable(lambda: sum(range(1000)), repetitions=5, warmup=1)
+        assert m.median > 0
+        assert len(m.samples) == 5
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            median_ci([])
+
+
+class TestReports:
+    def test_speedup_table_geomean_row(self):
+        rows = {"k1": {"numpy": 2.0, "dace": 1.0},
+                "k2": {"numpy": 8.0, "dace": 2.0}}
+        text = speedup_table(rows, baseline="numpy")
+        assert "geomean" in text
+        assert "2.83" in text  # sqrt(2 * 4)
+
+    def test_scaling_table_efficiency(self):
+        text = scaling_table({"dace": {1: 1.0, 4: 1.25}})
+        assert "80.0%" in text
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1,
+                max_size=20))
+@settings(max_examples=50)
+def test_geomean_bounded_by_min_max(values):
+    gm = geomean(values)
+    assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=6,
+                max_size=40))
+@settings(max_examples=50)
+def test_median_within_ci(samples):
+    med, low, high = median_ci(samples)
+    assert low <= med <= high

@@ -1,0 +1,204 @@
+"""Tests for the Python code generator (S9): vectorized scopes must agree
+with the reference interpreter, and artifacts must be usable."""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codegen import compile_sdfg
+from repro.codegen.pygen import affine_decompose
+from repro.codegen.support import align_axes, dim_length, make_slice
+from repro.runtime.executor import run_sdfg
+from repro.symbolic import Integer, Symbol
+
+N = repro.symbol("N")
+M = repro.symbol("M")
+
+
+class TestAffineDecompose:
+    def test_constant(self):
+        param, a, c = affine_decompose(Integer(5), ["i"])
+        assert param is None and c == Integer(5)
+
+    def test_pure_param(self):
+        i = Symbol("i", nonnegative=False)
+        param, a, c = affine_decompose(i, ["i"])
+        assert param == "i" and a == Integer(1) and c == Integer(0)
+
+    def test_affine(self):
+        i = Symbol("i", nonnegative=False)
+        param, a, c = affine_decompose(2 * i + 3, ["i"])
+        assert (param, a, c) == ("i", Integer(2), Integer(3))
+
+    def test_symbolic_offset(self):
+        i = Symbol("i", nonnegative=False)
+        param, a, c = affine_decompose(i + N, ["i"])
+        assert param == "i" and c == N
+
+    def test_two_params_rejected(self):
+        i = Symbol("i", nonnegative=False)
+        j = Symbol("j", nonnegative=False)
+        assert affine_decompose(i + j, ["i", "j"]) is None
+
+    def test_nonlinear_rejected(self):
+        i = Symbol("i", nonnegative=False)
+        assert affine_decompose(i * i, ["i"]) is None
+
+
+class TestSupportHelpers:
+    def test_make_slice_positive(self):
+        assert make_slice(1, 2, 0, 4, 1) == slice(2, 7, 1)
+
+    def test_make_slice_coefficient(self):
+        assert make_slice(2, 0, 0, 3, 1) == slice(0, 7, 2)
+
+    def test_make_slice_negative(self):
+        arr = np.arange(10)
+        sl = make_slice(-1, 9, 0, 9, 1)
+        assert np.allclose(arr[sl], arr[::-1])
+
+    def test_dim_length(self):
+        assert dim_length(0, 9, 1) == 10
+        assert dim_length(2, 9, 3) == 3
+
+    def test_align_axes_transpose(self):
+        view = np.arange(6).reshape(2, 3)
+        aligned = align_axes(view, [1, 0], 2)   # dims are (param1, param0)
+        assert aligned.shape == (3, 2)
+        assert np.allclose(aligned, view.T)
+
+    def test_align_axes_expand(self):
+        view = np.arange(3)
+        aligned = align_axes(view, [1], 2)
+        assert aligned.shape == (1, 3)
+
+
+class TestGeneratedVsInterpreter:
+    """The compiled module and the reference interpreter must agree."""
+
+    def compare(self, prog, **arrays):
+        sdfg = prog.to_sdfg()
+        args_a = {k: np.copy(v) if isinstance(v, np.ndarray) else v
+                  for k, v in arrays.items()}
+        args_b = {k: np.copy(v) if isinstance(v, np.ndarray) else v
+                  for k, v in arrays.items()}
+        ret_a = compile_sdfg(sdfg)(**args_a)
+        ret_b = run_sdfg(sdfg, **args_b)
+        for key in arrays:
+            if isinstance(arrays[key], np.ndarray):
+                assert np.allclose(args_a[key], args_b[key]), key
+        if ret_a is not None or ret_b is not None:
+            assert np.allclose(ret_a, ret_b)
+
+    def test_shifted_views(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[1:-1] = A[:-2] * 0.5 + A[2:] * 0.5
+
+        self.compare(prog, A=np.random.default_rng(0).random(16),
+                     B=np.zeros(16))
+
+    def test_strided_access(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[0:N:2] = A[0:N:2] * 2.0
+
+        self.compare(prog, A=np.arange(10, dtype=np.float64), B=np.zeros(10))
+
+    def test_reversed_access(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = np.flip(A)
+
+        self.compare(prog, A=np.arange(7, dtype=np.float64), B=np.zeros(7))
+
+    def test_wcr_axis_reduction(self):
+        @repro.program
+        def prog(A: repro.float64[N, M], out: repro.float64[M]):
+            out[:] = np.sum(A, axis=0)
+
+        sdfg = prog.to_sdfg().clone()
+        sdfg.expand_library_nodes(implementation="native")
+        A = np.random.default_rng(1).random((5, 7))
+        out_gen = np.zeros(7)
+        out_int = np.zeros(7)
+        compile_sdfg(sdfg)(A=A, out=out_gen)
+        run_sdfg(sdfg, A=A, out=out_int)
+        assert np.allclose(out_gen, A.sum(axis=0))
+        assert np.allclose(out_int, out_gen)
+
+    def test_map_parameter_code_falls_back(self):
+        """Index-dependent tasklet code cannot vectorize but stays correct."""
+        @repro.program
+        def prog(B: repro.float64[N]):
+            for i in repro.map[0:N]:
+                B[i] = i * 2.0
+
+        self.compare(prog, B=np.zeros(6))
+
+    def test_dynamic_indirection(self):
+        @repro.program
+        def prog(idx: repro.int64[N], out: repro.float64[M]):
+            for i in repro.map[0:N]:
+                out[idx[i]] += 1.0
+
+        self.compare(prog, idx=np.array([0, 2, 2, 1], dtype=np.int64),
+                     out=np.zeros(3))
+
+
+class TestCompiledArtifacts:
+    def test_source_is_python(self):
+        @repro.program
+        def prog(A: repro.float64[N]):
+            A += 1.0
+
+        compiled = compile_sdfg(prog.to_sdfg())
+        compile(compiled.source, "<check>", "exec")  # must parse
+        assert "__run" in compiled.source
+
+    def test_state_visits_recorded(self):
+        @repro.program
+        def prog(A: repro.float64[N], T: repro.int32):
+            for t in range(T):
+                A += 1.0
+
+        compiled = compile_sdfg(prog.to_sdfg())
+        A = np.zeros(4)
+        compiled(A=A, T=5)
+        assert sum(compiled.last_state_visits.values()) >= 5
+
+    def test_codegen_time_recorded(self):
+        @repro.program
+        def prog(A: repro.float64[N]):
+            A += 1.0
+
+        compiled = compile_sdfg(prog.to_sdfg())
+        assert compiled.codegen_seconds > 0
+
+    def test_sdfgcc_cli(self, tmp_path):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = A * 3.0
+
+        sdfg_path = tmp_path / "prog.json"
+        prog.to_sdfg().save(str(sdfg_path))
+        out_path = tmp_path / "prog_gen.py"
+        from repro.codegen.sdfgcc import main
+
+        assert main([str(sdfg_path), "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        compile(out_path.read_text(), "<cli>", "exec")
+
+    def test_save_source(self, tmp_path):
+        @repro.program
+        def prog(A: repro.float64[N]):
+            A *= 2.0
+
+        compiled = compile_sdfg(prog.to_sdfg())
+        path = tmp_path / "module.py"
+        compiled.save_source(str(path))
+        assert "def __run" in path.read_text()

@@ -1,0 +1,217 @@
+"""Tests for the workload analysis (S5/S17) and the device models
+(S10/S11): the modeled orderings the paper's figures rest on."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.autoopt import auto_optimize
+from repro.codegen import compile_sdfg
+from repro.config import Config
+from repro.runtime.devices import (CPU_PROFILES, FPGA_PROFILES, GPU_PROFILES,
+                                   cpu_time, detect_stencil_maps, fpga_time,
+                                   gpu_time)
+from repro.runtime.perfmodel import ProgramCost, analyze_program, tasklet_flops
+
+N = repro.symbol("N")
+
+
+def profile_of(prog, optimize=None, device="CPU", **args):
+    sdfg = prog.to_sdfg().clone()
+    if optimize:
+        auto_optimize(sdfg, device=device)
+    compiled = compile_sdfg(sdfg)
+    compiled(**args)
+    return sdfg, analyze_program(sdfg, compiled.last_state_visits,
+                                 compiled.last_symbols)
+
+
+class TestTaskletFlops:
+    def test_simple_expression(self):
+        assert tasklet_flops("__out = (__a) * (__b)") == 1
+
+    def test_transcendental_weighting(self):
+        cheap = tasklet_flops("__out = __a + __b")
+        costly = tasklet_flops("__out = np.exp(__a)")
+        assert costly > cheap
+
+    def test_garbage_code_safe(self):
+        assert tasklet_flops("not python!!") == 1
+
+
+class TestAnalysis:
+    def test_bytes_scale_with_size(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = A + 1.0
+
+        _, small = profile_of(prog, A=np.zeros(100), B=np.zeros(100))
+        _, large = profile_of(prog, A=np.zeros(1000), B=np.zeros(1000))
+        assert large.bytes_moved == pytest.approx(10 * small.bytes_moved,
+                                                  rel=0.05)
+
+    def test_loop_visits_multiply_cost(self):
+        @repro.program
+        def prog(A: repro.float64[N], T: repro.int32):
+            for t in range(T):
+                A += 1.0
+
+        _, once = profile_of(prog, A=np.zeros(50), T=1)
+        _, many = profile_of(prog, A=np.zeros(50), T=10)
+        assert many.bytes_moved == pytest.approx(10 * once.bytes_moved,
+                                                 rel=0.01)
+
+    def test_fusion_removes_transient_traffic(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = (A * 2.0 + 1.0) * A
+
+        _, unfused = profile_of(prog, A=np.zeros(500), B=np.zeros(500))
+        _, fused = profile_of(prog, optimize=True,
+                              A=np.zeros(500), B=np.zeros(500))
+        assert fused.transient_bytes < unfused.transient_bytes
+        assert fused.kernels < unfused.kernels
+
+    def test_library_flops_counted(self):
+        @repro.program
+        def prog(A: repro.float64[N, N], B: repro.float64[N, N],
+                 C: repro.float64[N, N]):
+            C[:] = A @ B
+
+        _, cost = profile_of(prog, A=np.zeros((16, 16)),
+                             B=np.zeros((16, 16)), C=np.zeros((16, 16)))
+        assert cost.library_flops == 2 * 16 ** 3
+
+    def test_argument_footprint(self):
+        @repro.program
+        def prog(A: repro.float64[N]):
+            A += 1.0
+
+        _, cost = profile_of(prog, A=np.zeros(128))
+        assert cost.argument_bytes_in == 128 * 8
+
+
+class TestCPUModel:
+    def _cost(self):
+        return ProgramCost(bytes_read=8_000_000, bytes_written=8_000_000,
+                           flops=2_000_000, kernels=4,
+                           transient_bytes=8_000_000)
+
+    def test_dace_beats_numpy(self):
+        cost = self._cost()
+        assert cpu_time(cost, CPU_PROFILES["dace"]) \
+            < cpu_time(cost, CPU_PROFILES["numpy"])
+
+    def test_compiled_frameworks_beat_interpreter(self):
+        cost = self._cost()
+        numpy_t = cpu_time(cost, CPU_PROFILES["numpy"])
+        for name in ("numba", "pythran", "dace"):
+            assert cpu_time(cost, CPU_PROFILES[name]) < numpy_t, name
+
+    def test_dispatch_overhead_dominates_tiny_kernels(self):
+        tiny = ProgramCost(bytes_read=80, bytes_written=80, flops=20,
+                           kernels=100)
+        numpy_t = cpu_time(tiny, CPU_PROFILES["numpy"])
+        gcc_t = cpu_time(tiny, CPU_PROFILES["gcc"])
+        assert gcc_t < numpy_t  # paper: short kernels benefit from C
+
+
+class TestGPUModel:
+    def test_fusion_wins(self):
+        cost = ProgramCost(bytes_read=4_000_000, bytes_written=4_000_000,
+                           flops=1_000_000, kernels=6,
+                           transient_bytes=6_000_000)
+        assert gpu_time(cost, GPU_PROFILES["dace"]) \
+            < gpu_time(cost, GPU_PROFILES["cupy"])
+
+    def test_atomics_penalized(self):
+        base = ProgramCost(bytes_read=1000, bytes_written=1000, flops=1000,
+                           kernels=1)
+        racy = ProgramCost(bytes_read=1000, bytes_written=1000, flops=1000,
+                           kernels=1, wcr_updates=1_000_000)
+        assert gpu_time(racy, GPU_PROFILES["dace"]) \
+            > gpu_time(base, GPU_PROFILES["dace"])
+
+    def test_transfers_optional(self):
+        cost = ProgramCost(bytes_read=1000, bytes_written=1000, flops=10,
+                           kernels=1, argument_bytes_in=10_000_000,
+                           argument_bytes_out=10_000_000)
+        with_t = gpu_time(cost, GPU_PROFILES["dace"], include_transfers=True)
+        without = gpu_time(cost, GPU_PROFILES["dace"], include_transfers=False)
+        assert with_t > without
+
+    def test_wcr_tiling_reduces_modeled_atomics(self):
+        @repro.program
+        def prog(A: repro.float64[N, N]):
+            return np.sum(A * A)
+
+        untiled = prog.to_sdfg().clone()
+        auto_optimize(untiled, device="GPU", use_fast_library=False,
+                      passes={"tile_wcr": False})
+        tiled = prog.to_sdfg().clone()
+        auto_optimize(tiled, device="GPU", use_fast_library=False)
+        A = np.ones((64, 64))
+        c1 = compile_sdfg(untiled)
+        c1(A=A)
+        c2 = compile_sdfg(tiled)
+        c2(A=A)
+        cost_untiled = analyze_program(untiled, c1.last_state_visits,
+                                       c1.last_symbols)
+        cost_tiled = analyze_program(tiled, c2.last_state_visits,
+                                     c2.last_symbols)
+        assert cost_tiled.wcr_updates < cost_untiled.wcr_updates
+
+
+class TestFPGAModel:
+    def test_streaming_avoids_dram(self):
+        base = ProgramCost(bytes_read=8_000_000, bytes_written=8_000_000,
+                           kernels=2, map_iterations=1_000_000)
+        streamed = ProgramCost(bytes_read=8_000_000, bytes_written=8_000_000,
+                               kernels=2, map_iterations=1_000_000,
+                               stream_bytes=8_000_000)
+        assert fpga_time(streamed, FPGA_PROFILES["intel"]) \
+            <= fpga_time(base, FPGA_PROFILES["intel"])
+
+    def test_accumulation_hardware_difference(self):
+        """Intel's hardened float accumulation vs Xilinx interleaving."""
+        cost = ProgramCost(bytes_read=1_000_000, bytes_written=8,
+                           kernels=1, map_iterations=125_000,
+                           wcr_updates=125_000)
+        intel = fpga_time(cost, FPGA_PROFILES["intel"])
+        xilinx_interleaved = fpga_time(cost, FPGA_PROFILES["xilinx"],
+                                       interleaved_accumulation=True)
+        xilinx_naive = fpga_time(cost, FPGA_PROFILES["xilinx"],
+                                 interleaved_accumulation=False)
+        assert intel <= xilinx_interleaved < xilinx_naive
+
+    def test_stencil_detection(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[1:-1] = A[:-2] + A[1:-1] + A[2:]
+
+        sdfg = prog.to_sdfg().clone()
+        auto_optimize(sdfg, device="FPGA")
+        assert detect_stencil_maps(sdfg) >= 1
+
+    def test_non_stencil_not_detected(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = A * 2.0
+
+        sdfg = prog.to_sdfg().clone()
+        auto_optimize(sdfg, device="FPGA")
+        assert detect_stencil_maps(sdfg) == 0
+
+
+class TestConfig:
+    def test_override_restores(self):
+        before = Config.get("gpu.kernel_launch_us")
+        with Config.override(gpu__kernel_launch_us=99.0):
+            assert Config.get("gpu.kernel_launch_us") == 99.0
+        assert Config.get("gpu.kernel_launch_us") == before
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            Config.get("no.such.key")
+        with pytest.raises(KeyError):
+            Config.set("no.such.key", 1)

@@ -1,0 +1,188 @@
+"""Tests for the type system (S2) and library nodes/expansions (S8)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.dtypes import ArrayAnnotation, dtype_of, result_type, typeclass
+from repro.ir import SDFG, Memlet
+from repro.library import MatMul, Outer, Reduce
+from repro.library.registry import register_expansion, set_priority
+from repro.runtime.executor import run_sdfg
+from repro.symbolic import Symbol
+
+N = repro.symbol("N")
+
+
+class TestTypeclass:
+    def test_annotation_syntax(self):
+        ann = repro.float64[N, 4]
+        assert isinstance(ann, ArrayAnnotation)
+        assert ann.ndim == 2
+        assert ann.dtype == repro.float64
+
+    def test_single_dim_annotation(self):
+        assert repro.int32[N].ndim == 1
+
+    def test_bytes(self):
+        assert repro.float64.bytes == 8
+        assert repro.int16.bytes == 2
+
+    def test_kind_predicates(self):
+        assert repro.float32.is_float
+        assert repro.int64.is_integer
+        assert repro.complex128.is_complex
+        assert repro.bool_.is_bool
+
+    def test_call_casts(self):
+        assert repro.int32(3.7) == 3
+        assert isinstance(repro.float32(1), np.float32)
+
+    def test_equality_with_numpy(self):
+        assert repro.float64 == np.float64
+        assert repro.float64 == np.dtype(np.float64)
+        assert repro.float64 != repro.float32
+
+    def test_dtype_of(self):
+        assert dtype_of(np.zeros(3, dtype=np.int32)) == repro.int32
+        assert dtype_of(1.5) == repro.float64
+        assert dtype_of(2) == repro.int64
+        assert dtype_of(True) == repro.bool_
+
+    def test_dtype_of_unsupported(self):
+        with pytest.raises(TypeError):
+            dtype_of("not a dtype")
+
+    def test_result_type_promotion(self):
+        assert result_type(repro.int16, repro.float32) == repro.float32
+        assert result_type(repro.int64, repro.float32) == repro.float64
+
+    def test_json_roundtrip(self):
+        assert typeclass.from_json(repro.float32.to_json()) == repro.float32
+
+
+def _matmul_sdfg(impl, m=6, k=5, n=4):
+    sdfg = SDFG(f"mm_{impl}")
+    sdfg.add_array("A", (m, k), repro.float64)
+    sdfg.add_array("B", (k, n), repro.float64)
+    sdfg.add_array("C", (m, n), repro.float64)
+    state = sdfg.add_state()
+    node = MatMul()
+    state.add_node(node)
+    state.add_edge(state.add_read("A"), None, node, "_a",
+                   Memlet("A", f"0:{m}, 0:{k}"))
+    state.add_edge(state.add_read("B"), None, node, "_b",
+                   Memlet("B", f"0:{k}, 0:{n}"))
+    state.add_edge(node, "_c", state.add_write("C"), None,
+                   Memlet("C", f"0:{m}, 0:{n}"))
+    if impl is not None:
+        sdfg.expand_library_nodes(implementation=impl)
+    return sdfg
+
+
+class TestMatMulNode:
+    @pytest.mark.parametrize("impl", [None, "MKL", "native"])
+    def test_implementations_agree(self, impl):
+        rng = np.random.default_rng(0)
+        A, B = rng.random((6, 5)), rng.random((5, 4))
+        C = np.zeros((6, 4))
+        run_sdfg(_matmul_sdfg(impl), A=A, B=B, C=C)
+        assert np.allclose(C, A @ B), impl
+
+    def test_flop_count(self):
+        node = MatMul()
+        env = {"_a_shape": (10, 20), "_b_shape": (20, 30)}
+        assert node.flop_count(env) == 2 * 10 * 20 * 30
+
+    def test_unknown_implementation(self):
+        sdfg = _matmul_sdfg(None)
+        node = sdfg.library_nodes()[0][0]
+        with pytest.raises(KeyError):
+            node.expand(sdfg, sdfg.states()[0], "nonexistent")
+
+    def test_priority_lists(self):
+        assert MatMul.default_priority["CPU"][0] == "MKL"
+        assert MatMul.default_priority["FPGA"][0] == "native"
+
+
+class TestReduceNode:
+    @pytest.mark.parametrize("wcr,expected", [
+        ("sum", 21.0), ("max", 6.0), ("min", 1.0)])
+    def test_full_reduction(self, wcr, expected):
+        sdfg = SDFG(f"red_{wcr}")
+        sdfg.add_array("A", (6,), repro.float64)
+        sdfg.add_array("out", (1,), repro.float64)
+        state = sdfg.add_state()
+        node = Reduce(wcr=wcr)
+        state.add_node(node)
+        state.add_edge(state.add_read("A"), None, node, "_in",
+                       Memlet("A", "0:6"))
+        state.add_edge(node, "_out", state.add_write("out"), None,
+                       Memlet("out", "0"))
+        A = np.arange(1, 7, dtype=np.float64)
+        out = np.zeros(1)
+        run_sdfg(sdfg, A=A, out=out)
+        assert out[0] == expected
+
+    def test_invalid_wcr(self):
+        with pytest.raises(ValueError):
+            Reduce(wcr="xor")
+
+    def test_axis_reduce_native_expansion(self):
+        sdfg = SDFG("red_axis")
+        sdfg.add_array("A", (4, 3), repro.float64)
+        sdfg.add_array("out", (3,), repro.float64)
+        state = sdfg.add_state()
+        node = Reduce(wcr="sum", axes=(0,))
+        state.add_node(node)
+        state.add_edge(state.add_read("A"), None, node, "_in",
+                       Memlet("A", "0:4, 0:3"))
+        state.add_edge(node, "_out", state.add_write("out"), None,
+                       Memlet("out", "0:3"))
+        sdfg.expand_library_nodes(implementation="native")
+        rng = np.random.default_rng(1)
+        A = rng.random((4, 3))
+        out = np.zeros(3)
+        run_sdfg(sdfg, A=A, out=out)
+        assert np.allclose(out, A.sum(axis=0))
+
+
+class TestExtensibility:
+    def test_user_registered_expansion(self):
+        """Users can add their own libraries and nodes (§3.2)."""
+
+        class Doubler(repro.ir.LibraryNode):
+            implementations = {}
+            default_priority = {}
+
+            def __init__(self):
+                super().__init__("Doubler", inputs=("_x",), outputs=("_y",))
+
+            def compute(self, inputs, env):
+                return {"_y": 2 * np.asarray(inputs["_x"])}
+
+        @register_expansion(Doubler, "tasklet")
+        def expand(node, sdfg, state):
+            ins = {e.dst_conn: e for e in state.in_edges(node)}
+            outs = {e.src_conn: e for e in state.out_edges(node)}
+            t = state.add_tasklet("double", {"_x"}, {"_y"}, "_y = 2 * _x")
+            state.add_edge(ins["_x"].src, None, t, "_x", ins["_x"].memlet)
+            state.add_edge(t, "_y", outs["_y"].dst, None, outs["_y"].memlet)
+            state.remove_node(node)
+            return t
+
+        set_priority(Doubler, "CPU", ["tasklet"])
+
+        sdfg = SDFG("user_lib")
+        sdfg.add_array("X", (N,), repro.float64)
+        sdfg.add_array("Y", (N,), repro.float64)
+        state = sdfg.add_state()
+        node = Doubler()
+        state.add_node(node)
+        state.add_edge(state.add_read("X"), None, node, "_x", Memlet("X", "0:N"))
+        state.add_edge(node, "_y", state.add_write("Y"), None, Memlet("Y", "0:N"))
+        assert sdfg.expand_library_nodes(device="CPU") == 1
+        X = np.arange(4, dtype=np.float64)
+        Y = np.zeros(4)
+        run_sdfg(sdfg, X=X, Y=Y)
+        assert np.allclose(Y, 2 * X)

@@ -1,0 +1,134 @@
+"""Validation of the Fig. 12 weak-scaling estimator (S12-S15).
+
+The estimator's communication terms use the same LogGP model as the
+functional simulator, so at small rank counts the modeled time must track
+the virtual clocks of a real (thread-simulated) execution of the same
+pattern.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.distributed_suite import TABLE2, scaled_sizes
+from repro.distributed import run_distributed
+from repro.distributed.estimator import FRAMEWORKS, estimate, weak_scaling_series
+from repro.simmpi.grid import balanced_dims
+from repro.transformations.distributed import (DistributeElementWiseArrayOp,
+                                               RemoveRedundantComm)
+
+
+class TestTable2:
+    def test_row_count_and_names(self):
+        assert len(TABLE2) == 11
+        assert set(TABLE2) == {"atax", "bicg", "doitgen", "gemm", "gemver",
+                               "gesummv", "jacobi_1d", "jacobi_2d", "k2mm",
+                               "k3mm", "mvt"}
+
+    def test_dask_sizes_halved(self):
+        assert TABLE2["gemm"].dask_sizes == (4000, 4600, 2600)
+        assert TABLE2["atax"].dask_sizes == (10000, 12500)
+
+    def test_scaling_factor_growth(self):
+        s1 = scaled_sizes(TABLE2["gemm"], 1)
+        s8 = scaled_sizes(TABLE2["gemm"], 8)
+        assert s8["NI"] == pytest.approx(2 * s1["NI"], rel=0.1)
+
+    def test_fixed_dimensions(self):
+        s1 = scaled_sizes(TABLE2["jacobi_1d"], 1)
+        s16 = scaled_sizes(TABLE2["jacobi_1d"], 16)
+        assert s16["T"] == s1["T"]
+        assert s16["N"] == pytest.approx(16 * s1["N"], rel=0.1)
+
+    def test_grid_alignment(self):
+        for procs in (2, 6, 36, 144):
+            grid = balanced_dims(procs)
+            sizes = scaled_sizes(TABLE2["jacobi_2d"], procs)
+            assert sizes["N"] % (grid[0] * grid[1]) == 0
+
+
+class TestEstimatorShapes:
+    PROCS = [1, 2, 4, 16, 64, 256, 1296]
+
+    def test_doitgen_embarrassing(self):
+        series = weak_scaling_series("doitgen", self.PROCS, "dace")
+        assert series[1] / series[1296] > 0.95
+
+    def test_matvec_class(self):
+        for kernel in ("atax", "bicg", "gemver", "gesummv", "mvt"):
+            series = weak_scaling_series(kernel, self.PROCS, "dace")
+            eff = series[1] / series[1296]
+            assert eff > 0.55, kernel      # paper: stays above 60%
+
+    def test_matmul_class_lowest(self):
+        gemm_eff = {p: estimate("gemm", 1) / estimate("gemm", p)
+                    for p in self.PROCS}
+        mvt_eff = {p: estimate("mvt", 1) / estimate("mvt", p)
+                   for p in self.PROCS}
+        assert gemm_eff[1296] < mvt_eff[1296]
+
+    def test_stencils_between_classes(self):
+        j2d = estimate("jacobi_2d", 1) / estimate("jacobi_2d", 1296)
+        gemm = estimate("gemm", 1) / estimate("gemm", 1296)
+        assert gemm < j2d < 1.0
+
+    def test_dask_oom_regime(self):
+        assert estimate("gemm", 512, "dask") is None
+        assert estimate("gemm", 256, "dask") is not None
+
+    def test_dace_fastest_at_scale(self):
+        for kernel in TABLE2:
+            for other in ("dask", "legate"):
+                t_dace = estimate(kernel, 64, "dace")
+                t_other = estimate(kernel, 64, other)
+                assert t_dace < t_other, (kernel, other)
+
+    def test_dask_slower_single_node(self):
+        """The paper observes Dask over 30x slower on equal problem sizes;
+        on its halved sizes it is still several times slower."""
+        for kernel in ("gemm", "mvt"):
+            assert estimate(kernel, 1, "dask") > 1.5 * estimate(kernel, 1, "dace")
+
+    def test_legate_matches_dace_on_blas_single_node(self):
+        t_dace = estimate("gemm", 1, "dace")
+        t_legate = estimate("gemm", 1, "legate")
+        assert t_legate / t_dace < 1.6  # "matches the runtime ... on one CPU"
+
+
+class TestEstimatorVsFunctional:
+    """The comm terms must agree with the functional simulator's virtual
+    clocks within a small factor (same LogGP model, simplified schedule)."""
+
+    def test_gemm_comm_within_factor(self):
+        NI = repro.symbol("NI")
+        NJ = repro.symbol("NJ")
+        NK = repro.symbol("NK")
+
+        @repro.program
+        def gemm(alpha: repro.float64, beta: repro.float64,
+                 C: repro.float64[NI, NJ], A: repro.float64[NI, NK],
+                 B: repro.float64[NK, NJ]):
+            C[:] = alpha * A @ B + beta * C
+
+        sdfg = gemm.to_sdfg().clone()
+        sdfg.apply(DistributeElementWiseArrayOp)
+        sdfg.expand_library_nodes(implementation="PBLAS")
+        sdfg.apply(RemoveRedundantComm)
+
+        procs = 4
+        rng = np.random.default_rng(0)
+        M = K = N = 64
+        result = run_distributed(sdfg, procs, alpha=1.0, beta=1.0,
+                                 C=rng.random((M, N)), A=rng.random((M, K)),
+                                 B=rng.random((K, N)))
+        functional = result.modeled_time
+        # rebuild the estimator's communication term at the same size
+        from repro.distributed.estimator import _comm_time
+        from repro.simmpi.netmodel import NetModel
+
+        modeled = _comm_time(TABLE2["gemm"],
+                             {"NI": M, "NJ": N, "NK": K}, procs,
+                             NetModel.from_config())
+        assert functional > 0 and modeled > 0
+        ratio = functional / modeled
+        assert 0.05 < ratio < 20.0  # same order of magnitude

@@ -1,0 +1,223 @@
+"""Unit tests for the reference interpreter (hand-built SDFGs)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.ir import SDFG, InterstateEdge, Memlet
+from repro.runtime.executor import ExecutionError, run_sdfg
+from repro.runtime.wcr import WCR_IDENTITY, apply_wcr
+from repro.symbolic import Symbol
+
+N = Symbol("N")
+
+
+class TestMaps:
+    def test_elementwise_map(self):
+        sdfg = SDFG("scale")
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_array("B", (N,), repro.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet("m", {"i": "0:N"},
+                                 {"__in": Memlet("A", "i")},
+                                 "__out = __in + 1",
+                                 {"__out": Memlet("B", "i")})
+        A = np.arange(5, dtype=np.float64)
+        B = np.zeros(5)
+        run_sdfg(sdfg, A=A, B=B)
+        assert np.allclose(B, A + 1)
+
+    def test_2d_map_transpose(self):
+        sdfg = SDFG("t")
+        sdfg.add_array("A", (N, N), repro.float64)
+        sdfg.add_array("B", (N, N), repro.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet("m", {"i": "0:N", "j": "0:N"},
+                                 {"__in": Memlet("A", "j, i")},
+                                 "__out = __in",
+                                 {"__out": Memlet("B", "i, j")})
+        A = np.arange(9, dtype=np.float64).reshape(3, 3)
+        B = np.zeros((3, 3))
+        run_sdfg(sdfg, A=A, B=B)
+        assert np.allclose(B, A.T)
+
+    def test_empty_range_map(self):
+        sdfg = SDFG("empty")
+        sdfg.add_array("A", (N,), repro.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet("m", {"i": "2:2"},
+                                 {"__in": Memlet("A", "i")},
+                                 "__out = 99.0",
+                                 {"__out": Memlet("A", "i")})
+        A = np.ones(4)
+        run_sdfg(sdfg, A=A)
+        assert np.allclose(A, 1)
+
+    def test_wcr_sum_reduction(self):
+        sdfg = SDFG("red")
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_scalar("out", repro.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet("m", {"i": "0:N"},
+                                 {"__v": Memlet("A", "i")}, "__out = __v",
+                                 {"__out": Memlet("out", "0", wcr="sum")})
+        A = np.arange(6, dtype=np.float64)
+        result = np.zeros(1)
+        containers, symbols = {}, {}
+        run_sdfg(sdfg, A=A, out=0.0)
+
+    def test_wcr_max(self):
+        sdfg = SDFG("redmax")
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_array("out", (1,), repro.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet("m", {"i": "0:N"},
+                                 {"__v": Memlet("A", "i")}, "__out = __v",
+                                 {"__out": Memlet("out", "0", wcr="max")})
+        A = np.array([3.0, 9.0, 1.0])
+        out = np.full(1, -np.inf)
+        run_sdfg(sdfg, A=A, out=out)
+        assert out[0] == 9.0
+
+
+class TestControlFlow:
+    def _loop_sdfg(self):
+        sdfg = SDFG("loop")
+        sdfg.add_array("C", (N,), repro.float64)
+        sdfg.add_symbol("i")
+        init = sdfg.add_state("init", is_start_state=True)
+        guard = sdfg.add_state("guard")
+        body = sdfg.add_state("body")
+        end = sdfg.add_state("end")
+        sdfg.add_edge(init, guard, InterstateEdge(assignments={"i": "0"}))
+        sdfg.add_edge(guard, body, InterstateEdge("i < N"))
+        sdfg.add_edge(body, guard, InterstateEdge(assignments={"i": "i + 1"}))
+        sdfg.add_edge(guard, end, InterstateEdge("i >= N"))
+        tasklet = body.add_tasklet("inc", {"__in"}, {"__out"},
+                                   "__out = __in + i")
+        body.add_edge(body.add_read("C"), None, tasklet, "__in", Memlet("C", "i"))
+        body.add_edge(tasklet, "__out", body.add_write("C"), None, Memlet("C", "i"))
+        return sdfg
+
+    def test_loop_executes_n_times(self):
+        sdfg = self._loop_sdfg()
+        C = np.zeros(5)
+        run_sdfg(sdfg, C=C, N=5)
+        assert np.allclose(C, np.arange(5))
+
+    def test_zero_trip_loop(self):
+        sdfg = self._loop_sdfg()
+        C = np.zeros(0)
+        run_sdfg(sdfg, C=C, N=0)
+
+    def test_branch_on_scalar_container(self):
+        sdfg = SDFG("branch")
+        sdfg.add_scalar("x", repro.float64)
+        sdfg.add_array("out", (1,), repro.float64)
+        start = sdfg.add_state()
+        then = sdfg.add_state()
+        other = sdfg.add_state()
+        sdfg.add_edge(start, then, InterstateEdge("x > 0"))
+        sdfg.add_edge(start, other, InterstateEdge("x <= 0"))
+        for state, value in ((then, "1.0"), (other, "-1.0")):
+            tasklet = state.add_tasklet("w", set(), {"__out"}, f"__out = {value}")
+            state.add_edge(tasklet, "__out", state.add_write("out"), None,
+                           Memlet("out", "0"))
+        out = np.zeros(1)
+        run_sdfg(sdfg, x=5.0, out=out)
+        assert out[0] == 1.0
+        run_sdfg(sdfg, x=-5.0, out=out)
+        assert out[0] == -1.0
+
+
+class TestCopiesAndArguments:
+    def test_subset_copy_with_other_subset(self):
+        sdfg = SDFG("copy")
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_array("B", (N,), repro.float64)
+        state = sdfg.add_state()
+        state.add_nedge(state.add_read("A"), state.add_write("B"),
+                        Memlet("A", "0:4", other_subset="2:6"))
+        A = np.arange(8, dtype=np.float64)
+        B = np.zeros(8)
+        run_sdfg(sdfg, A=A, B=B)
+        assert np.allclose(B[2:6], A[0:4])
+        assert B[0] == 0 and B[6] == 0
+
+    def test_dtype_mismatch_rejected(self):
+        sdfg = SDFG("typed")
+        sdfg.add_array("A", (N,), repro.float64)
+        state = sdfg.add_state()
+        state.add_access("A")
+        with pytest.raises(ExecutionError):
+            run_sdfg(sdfg, A=np.zeros(4, dtype=np.float32))
+
+    def test_missing_argument(self):
+        sdfg = SDFG("missing")
+        sdfg.add_array("A", (N,), repro.float64)
+        state = sdfg.add_state()
+        state.add_access("A")
+        with pytest.raises(ExecutionError):
+            run_sdfg(sdfg, N=4)
+
+    def test_unknown_argument(self):
+        sdfg = SDFG("unknown")
+        sdfg.add_state()
+        with pytest.raises(ExecutionError):
+            run_sdfg(sdfg, bogus=1)
+
+    def test_inconsistent_symbol(self):
+        sdfg = SDFG("sym")
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_array("B", (N,), repro.float64)
+        sdfg.add_state()
+        with pytest.raises(ExecutionError):
+            run_sdfg(sdfg, A=np.zeros(3), B=np.zeros(4))
+
+    def test_shape_expression_verified(self):
+        sdfg = SDFG("expr")
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_array("B", (N + 2,), repro.float64)
+        sdfg.add_state()
+        with pytest.raises(ExecutionError):
+            run_sdfg(sdfg, A=np.zeros(4), B=np.zeros(4))
+
+
+class TestWCRPrimitives:
+    @pytest.mark.parametrize("wcr,expected", [
+        ("sum", 7.0), ("prod", 12.0), ("min", 3.0), ("max", 4.0)])
+    def test_apply_wcr_scalar(self, wcr, expected):
+        storage = np.array([3.0])
+        apply_wcr(storage, 0, 4.0, wcr)
+        assert storage[0] == expected
+
+    def test_identity_elements(self):
+        assert WCR_IDENTITY["sum"] == 0.0
+        assert WCR_IDENTITY["prod"] == 1.0
+        assert WCR_IDENTITY["min"] == float("inf")
+
+    def test_apply_wcr_repeated_indices(self):
+        """ufunc.at semantics: repeated indices accumulate."""
+        storage = np.zeros(3)
+        apply_wcr(storage, np.array([0, 0, 1]), np.array([1.0, 2.0, 5.0]), "sum")
+        assert np.allclose(storage, [3.0, 5.0, 0.0])
+
+
+class TestStreams:
+    def test_stream_fifo_semantics(self):
+        sdfg = SDFG("stream")
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_array("B", (N,), repro.float64)
+        sdfg.add_stream("fifo", repro.float64)
+        push = sdfg.add_state("push")
+        pop = sdfg.add_state_after(push, "pop")
+        push.add_mapped_tasklet("p", {"i": "0:N"},
+                                {"__in": Memlet("A", "i")}, "__out = __in",
+                                {"__out": Memlet("fifo", "0")})
+        pop.add_mapped_tasklet("q", {"i": "0:N"},
+                               {"__in": Memlet("fifo", "0")}, "__out = __in",
+                               {"__out": Memlet("B", "i")})
+        A = np.arange(4, dtype=np.float64)
+        B = np.zeros(4)
+        run_sdfg(sdfg, A=A, B=B)
+        assert np.allclose(B, A)  # FIFO order preserved

@@ -1,0 +1,148 @@
+"""Property-based invariants across the whole pipeline.
+
+The three executions of any supported program — NumPy semantics, the
+reference interpreter, and the generated module (optimized and not) — must
+agree up to floating-point tolerance, for randomized stencil offsets, slice
+bounds, and coefficients.  Shape/offset parameters enter as SDFG *symbols*,
+so a single parsed program covers the whole family (the paper's symbolic
+sizes at work).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.autoopt import auto_optimize
+from repro.codegen import compile_sdfg
+from repro.runtime.executor import run_sdfg
+
+N = repro.symbol("N")
+M = repro.symbol("M")
+LO = repro.symbol("lo")
+DL = repro.symbol("dl")
+DR = repro.symbol("dr")
+
+
+@repro.program
+def stencil_prog(A: repro.float64[N], B: repro.float64[N], c: repro.float64):
+    B[lo:N - lo] = (A[lo - dl:N - lo - dl] + A[lo + dr:N - lo + dr]) * c
+
+
+# resolve the symbol names used inside the program body
+lo, dl, dr = LO, DL, DR
+
+
+@repro.program
+def chain_prog(A: repro.float64[N, M], B: repro.float64[N, M],
+               c0: repro.float64, c1: repro.float64, c2: repro.float64):
+    B[:] = ((A + c0) * c1 - c2) * A
+
+
+@repro.program
+def seq_prog(A: repro.float64[N], s: repro.int64):
+    for i in range(s + 1, N):
+        A[i] = A[i - 1] * 0.5 + A[i]
+
+
+@repro.program
+def reduce_prog(A: repro.float64[N, M], out: repro.float64[3]):
+    out[0] = np.sum(A)
+    out[1] = np.max(A)
+    out[2] = np.min(A)
+
+
+def _engines(prog):
+    sdfg = prog.to_sdfg()
+    optimized = sdfg.clone()
+    auto_optimize(optimized, device="CPU")
+    return [("interp", lambda **kw: run_sdfg(sdfg, **kw)),
+            ("codegen", compile_sdfg(sdfg)),
+            ("autoopt", compile_sdfg(optimized))]
+
+
+_STENCIL_ENGINES = None
+_CHAIN_ENGINES = None
+_SEQ_ENGINES = None
+_REDUCE_ENGINES = None
+
+
+def _get(cache_name, prog):
+    value = globals()[cache_name]
+    if value is None:
+        value = _engines(prog)
+        globals()[cache_name] = value
+    return value
+
+
+@given(n=st.integers(10, 30), left=st.integers(0, 3), right=st.integers(0, 3),
+       coeff=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+       seed=st.integers(0, 99))
+@settings(max_examples=30, deadline=None)
+def test_random_stencils_agree(n, left, right, coeff, seed):
+    lo_val = max(left, right, 1)
+    if n - 2 * lo_val < 2:
+        return
+    rng = np.random.default_rng(seed)
+    A0 = rng.random(n)
+    B0 = rng.random(n)
+
+    expected_B = B0.copy()
+    expected_B[lo_val:n - lo_val] = (
+        A0[lo_val - left:n - lo_val - left]
+        + A0[lo_val + right:n - lo_val + right]) * coeff
+
+    for name, engine in _get("_STENCIL_ENGINES", stencil_prog):
+        A, B = A0.copy(), B0.copy()
+        engine(A=A, B=B, c=coeff, lo=lo_val, dl=left, dr=right)
+        assert np.allclose(B, expected_B, rtol=1e-12), name
+        assert np.allclose(A, A0), name  # inputs untouched
+
+
+@given(n=st.integers(3, 14), m=st.integers(3, 14),
+       coeffs=st.tuples(*[st.floats(min_value=-3.0, max_value=3.0,
+                                    allow_nan=False)] * 3),
+       seed=st.integers(0, 99))
+@settings(max_examples=30, deadline=None)
+def test_elementwise_chain_agrees(n, m, coeffs, seed):
+    c0, c1, c2 = coeffs
+    rng = np.random.default_rng(seed)
+    A0 = rng.random((n, m))
+    expected = ((A0 + c0) * c1 - c2) * A0
+
+    for name, engine in _get("_CHAIN_ENGINES", chain_prog):
+        A, B = A0.copy(), np.zeros((n, m))
+        engine(A=A, B=B, c0=c0, c1=c1, c2=c2)
+        assert np.allclose(B, expected, rtol=1e-12), name
+
+
+@given(n=st.integers(3, 16), start=st.integers(0, 4), seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_sequential_loops_agree(n, start, seed):
+    if start >= n - 1:
+        return
+    rng = np.random.default_rng(seed)
+    A0 = rng.random(n)
+    expected = A0.copy()
+    for i in range(start + 1, n):
+        expected[i] = expected[i - 1] * 0.5 + expected[i]
+
+    for name, engine in _get("_SEQ_ENGINES", seq_prog):
+        A = A0.copy()
+        engine(A=A, s=start)
+        assert np.allclose(A, expected, rtol=1e-12), name
+
+
+@given(rows=st.integers(2, 10), cols=st.integers(2, 10),
+       seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_reductions_agree(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.random((rows, cols))
+    expected = np.array([A.sum(), A.max(), A.min()])
+
+    for name, engine in _get("_REDUCE_ENGINES", reduce_prog):
+        out = np.zeros(3)
+        engine(A=A.copy(), out=out)
+        assert np.allclose(out, expected, rtol=1e-12), name

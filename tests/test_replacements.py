@@ -1,0 +1,272 @@
+"""Tests for the NumPy function replacements (§2.3 library-call lowering)."""
+
+import numpy as np
+import pytest
+
+import repro
+
+N = repro.symbol("N")
+M = repro.symbol("M")
+
+
+class TestAllocation:
+    def test_zeros_refilled_each_iteration(self):
+        """np.zeros inside a loop must produce fresh zeros every iteration."""
+        @repro.program
+        def prog(out: repro.float64[3]):
+            for t in range(3):
+                tmp = np.zeros((4,))
+                tmp += 1.0
+                out[t] = np.sum(tmp)
+
+        out = np.zeros(3)
+        prog(out=out)
+        assert np.allclose(out, 4.0)
+
+    def test_ones_full_empty(self):
+        @repro.program
+        def prog(a: repro.float64[N]):
+            x = np.ones((N,))
+            y = np.full((N,), 2.5)
+            a[:] = x + y
+
+        a = np.zeros(4)
+        prog(a=a)
+        assert np.allclose(a, 3.5)
+
+    def test_zeros_like(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            z = np.zeros_like(A)
+            B[:] = z + 1.0
+
+        B = np.zeros(3)
+        prog(A=np.ones(3), B=B)
+        assert np.allclose(B, 1.0)
+
+    def test_symbolic_shape_alloc(self):
+        @repro.program
+        def prog(A: repro.float64[N, M]):
+            t = np.zeros((N, M))
+            A[:] = t + 5.0
+
+        A = np.zeros((2, 3))
+        prog(A=A)
+        assert np.allclose(A, 5.0)
+
+
+class TestReductions:
+    @pytest.mark.parametrize("func,expected", [
+        (np.sum, 10.0), (np.max, 4.0), (np.min, 0.0), (np.prod, 0.0)])
+    def test_full_reduction(self, func, expected):
+        captured = {"f": func}
+
+        @repro.program
+        def prog(A: repro.float64[N]):
+            return captured["f"](A)
+
+        # rebuild with the actual function inline (closures resolve statically)
+        if func is np.sum:
+            @repro.program
+            def prog(A: repro.float64[N]):
+                return np.sum(A)
+        elif func is np.max:
+            @repro.program
+            def prog(A: repro.float64[N]):
+                return np.max(A)
+        elif func is np.min:
+            @repro.program
+            def prog(A: repro.float64[N]):
+                return np.min(A)
+        else:
+            @repro.program
+            def prog(A: repro.float64[N]):
+                return np.prod(A)
+
+        A = np.arange(5, dtype=np.float64)
+        assert prog(A=A) == pytest.approx(expected)
+
+    def test_axis_reduction(self):
+        @repro.program
+        def prog(A: repro.float64[N, M], out: repro.float64[M]):
+            out[:] = np.sum(A, axis=0)
+
+        A = np.arange(6, dtype=np.float64).reshape(2, 3)
+        out = np.zeros(3)
+        prog(A=A, out=out)
+        assert np.allclose(out, A.sum(axis=0))
+
+    def test_mean(self):
+        @repro.program
+        def prog(A: repro.float64[N]):
+            return np.mean(A)
+
+        assert prog(A=np.arange(4, dtype=np.float64)) == pytest.approx(1.5)
+
+    def test_mean_axis(self):
+        @repro.program
+        def prog(A: repro.float64[N, M], out: repro.float64[M]):
+            out[:] = np.mean(A, axis=0)
+
+        A = np.arange(6, dtype=np.float64).reshape(2, 3)
+        out = np.zeros(3)
+        prog(A=A, out=out)
+        assert np.allclose(out, A.mean(axis=0))
+
+    def test_method_sum(self):
+        @repro.program
+        def prog(A: repro.float64[N]):
+            return A.sum()
+
+        assert prog(A=np.ones(5)) == 5.0
+
+
+class TestUfuncs:
+    def test_unary_chain(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = np.sqrt(np.exp(np.abs(A)))
+
+        A = np.linspace(-1, 1, 5)
+        B = np.zeros(5)
+        prog(A=A, B=B)
+        assert np.allclose(B, np.sqrt(np.exp(np.abs(A))))
+
+    def test_trig(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = np.sin(A) * np.sin(A) + np.cos(A) * np.cos(A)
+
+        A = np.linspace(0, 3, 7)
+        B = np.zeros(7)
+        prog(A=A, B=B)
+        assert np.allclose(B, 1.0)
+
+    def test_binary_maximum(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N], C: repro.float64[N]):
+            C[:] = np.maximum(A, B)
+
+        A = np.array([1.0, 5.0, 2.0])
+        B = np.array([3.0, 1.0, 2.0])
+        C = np.zeros(3)
+        prog(A=A, B=B, C=C)
+        assert np.allclose(C, [3, 5, 2])
+
+    def test_integer_sqrt_promotes_to_float(self):
+        @repro.program
+        def prog(A: repro.int64[N], B: repro.float64[N]):
+            B[:] = np.sqrt(A)
+
+        A = np.array([1, 4, 9], dtype=np.int64)
+        B = np.zeros(3)
+        prog(A=A, B=B)
+        assert np.allclose(B, [1, 2, 3])
+
+    def test_clip(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = np.clip(A, 0.0, 1.0)
+
+        A = np.array([-1.0, 0.5, 3.0])
+        B = np.zeros(3)
+        prog(A=A, B=B)
+        assert np.allclose(B, [0, 0.5, 1])
+
+    def test_flip(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = np.flip(A)
+
+        A = np.arange(4, dtype=np.float64)
+        B = np.zeros(4)
+        prog(A=A, B=B)
+        assert np.allclose(B, A[::-1])
+
+    def test_power_float_exponent(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            B[:] = A ** (-1.5)
+
+        A = np.array([1.0, 4.0])
+        B = np.zeros(2)
+        prog(A=A, B=B)
+        assert np.allclose(B, A ** -1.5)
+
+
+class TestLinearAlgebra:
+    def test_np_dot(self):
+        @repro.program
+        def prog(A: repro.float64[N, M], x: repro.float64[M],
+                 y: repro.float64[N]):
+            y[:] = np.dot(A, x)
+
+        rng = np.random.default_rng(0)
+        A, x = rng.random((3, 4)), rng.random(4)
+        y = np.zeros(3)
+        prog(A=A, x=x, y=y)
+        assert np.allclose(y, A @ x)
+
+    def test_outer(self):
+        @repro.program
+        def prog(a: repro.float64[N], b: repro.float64[M],
+                 C: repro.float64[N, M]):
+            C[:] = np.outer(a, b)
+
+        a = np.arange(3, dtype=np.float64)
+        b = np.arange(4, dtype=np.float64)
+        C = np.zeros((3, 4))
+        prog(a=a, b=b, C=C)
+        assert np.allclose(C, np.outer(a, b))
+
+    def test_vec_mat(self):
+        @repro.program
+        def prog(x: repro.float64[N], A: repro.float64[N, M],
+                 y: repro.float64[M]):
+            y[:] = x @ A
+
+        rng = np.random.default_rng(0)
+        x, A = rng.random(3), rng.random((3, 4))
+        y = np.zeros(4)
+        prog(x=x, A=A, y=y)
+        assert np.allclose(y, x @ A)
+
+
+class TestCastsAndBuiltins:
+    def test_astype(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.int64[N]):
+            B[:] = A.astype(np.int64)
+
+        A = np.array([1.7, 2.2, -0.5])
+        B = np.zeros(3, dtype=np.int64)
+        prog(A=A, B=B)
+        assert np.array_equal(B, A.astype(np.int64))
+
+    def test_len(self):
+        @repro.program
+        def prog(A: repro.float64[N]):
+            return len(A) * 1.0
+
+        assert prog(A=np.zeros(7)) == 7.0
+
+    def test_builtin_min_max_scalars(self):
+        @repro.program
+        def prog(A: repro.float64[N]):
+            a = A[0]
+            b = A[1]
+            return max(a, b) - min(a, b)
+
+        assert prog(A=np.array([3.0, 8.0])) == pytest.approx(5.0)
+
+    def test_copy_method(self):
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N]):
+            snapshot = A.copy()
+            A += 100.0
+            B[:] = snapshot
+
+        A = np.arange(3, dtype=np.float64)
+        B = np.zeros(3)
+        prog(A=A, B=B)
+        assert np.allclose(B, [0, 1, 2])

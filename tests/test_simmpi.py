@@ -1,0 +1,222 @@
+"""Tests for the simulated MPI substrate (S12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import (NetModel, ProcessGrid, Request, SimMPIError,
+                          VectorType, balanced_dims, run_spmd)
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def work(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            recv = np.empty(4)
+            req = comm.Irecv(recv, prv, tag=7)
+            comm.Send(np.full(4, float(comm.rank)), nxt, tag=7)
+            req.wait()
+            return recv[0]
+
+        results, clocks, stats = run_spmd(work, 6)
+        assert results == [(r - 1) % 6 for r in range(6)]
+        assert stats["messages"] == 6
+
+    def test_tags_disambiguate(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([1.0]), 1, tag=1)
+                comm.Send(np.array([2.0]), 1, tag=2)
+            elif comm.rank == 1:
+                second = np.empty(1)
+                first = np.empty(1)
+                comm.Recv(second, 0, tag=2)
+                comm.Recv(first, 0, tag=1)
+                assert second[0] == 2.0 and first[0] == 1.0
+            return True
+
+        run_spmd(work, 2)
+
+    def test_sendrecv(self):
+        def work(comm):
+            partner = 1 - comm.rank
+            out = np.full(3, float(comm.rank))
+            buf = np.empty(3)
+            comm.Sendrecv(out, partner, buf, partner, tag=3)
+            assert np.allclose(buf, partner)
+            return True
+
+        run_spmd(work, 2)
+
+    def test_rank_failure_propagates(self):
+        def work(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.Barrier()
+
+        with pytest.raises(SimMPIError):
+            run_spmd(work, 2)
+
+    def test_clocks_advance_on_communication(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(1000), 1)
+            elif comm.rank == 1:
+                comm.Recv(np.empty(1000), 0)
+
+        _, clocks, _ = run_spmd(work, 2)
+        assert clocks[0] > 0 and clocks[1] > 0
+        # the receiver finishes after the sender injected
+        assert clocks[1] >= clocks[0] * 0.5
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def work(comm):
+            data = np.arange(5, dtype=np.float64) if comm.rank == 0 \
+                else np.empty(5)
+            comm.Bcast(data, root=0)
+            assert np.allclose(data, np.arange(5))
+            return True
+
+        run_spmd(work, 4)
+
+    def test_scatter_gather_roundtrip(self):
+        def work(comm):
+            if comm.rank == 0:
+                send = np.arange(comm.size * 2, dtype=np.float64)
+            else:
+                send = np.empty(0)
+            local = np.empty(2)
+            comm.Scatter(send, local, root=0)
+            assert np.allclose(local, [comm.rank * 2, comm.rank * 2 + 1])
+            out = np.empty(comm.size * 2) if comm.rank == 0 else None
+            comm.Gather(local + 100, out, root=0)
+            if comm.rank == 0:
+                assert np.allclose(out, np.arange(comm.size * 2) + 100)
+            return True
+
+        run_spmd(work, 4)
+
+    def test_allgather(self):
+        def work(comm):
+            out = np.empty((comm.size, 1))
+            comm.Allgather(np.array([float(comm.rank)]), out)
+            assert np.allclose(out.ravel(), np.arange(comm.size))
+            return True
+
+        run_spmd(work, 5)
+
+    @pytest.mark.parametrize("op,expected", [
+        ("sum", 6.0), ("max", 3.0), ("min", 0.0)])
+    def test_allreduce_ops(self, op, expected):
+        def work(comm):
+            out = np.empty(1)
+            comm.Allreduce(np.array([float(comm.rank)]), out, op=op)
+            assert out[0] == expected
+            return True
+
+        run_spmd(work, 4)
+
+    def test_alltoall(self):
+        def work(comm):
+            send = np.arange(comm.size, dtype=np.float64) + 10 * comm.rank
+            recv = np.empty(comm.size)
+            comm.Alltoall(send, recv)
+            assert np.allclose(recv, [10 * src + comm.rank
+                                      for src in range(comm.size)])
+            return True
+
+        run_spmd(work, 4)
+
+    def test_collectives_synchronize_clocks(self):
+        def work(comm):
+            comm.advance(0.1 * comm.rank)
+            comm.Barrier()
+            return comm.clock
+
+        results, _, _ = run_spmd(work, 4)
+        assert max(results) - min(results) < 1e-9  # all synced to max
+
+
+class TestVectorType:
+    def test_pack_unpack_roundtrip(self):
+        vt = VectorType(count=3, blocklength=2, stride=4, dtype=np.float64)
+        flat = np.arange(12, dtype=np.float64)
+        packed = vt.pack(flat)
+        assert np.allclose(packed, [0, 1, 4, 5, 8, 9])
+        target = np.zeros(12)
+        vt.unpack(target, packed)
+        assert np.allclose(target[[0, 1, 4, 5, 8, 9]], packed)
+
+    def test_strided_column_send(self):
+        def work(comm):
+            A = np.arange(16, dtype=np.float64).reshape(4, 4).copy()
+            vt = VectorType(4, 1, 4, np.float64)
+            if comm.rank == 0:
+                comm.Send(A, 1, tag=5, datatype=vt)  # column 0
+            else:
+                col = np.zeros(16)
+                comm.Recv(col, 0, tag=5, datatype=vt)
+                assert np.allclose(col[[0, 4, 8, 12]], [0, 4, 8, 12])
+            return True
+
+        run_spmd(work, 2)
+
+
+class TestGrids:
+    def test_balanced_dims_product(self):
+        for size in (1, 2, 6, 12, 36, 64, 1296):
+            dims = balanced_dims(size)
+            assert dims[0] * dims[1] == size
+            assert dims[0] >= dims[1]
+
+    def test_coords_roundtrip(self):
+        grid = ProcessGrid(12)
+        for rank in range(12):
+            assert grid.rank_of(grid.coords(rank)) == rank
+
+    def test_neighbors_at_boundary(self):
+        grid = ProcessGrid(4, dims=(2, 2))
+        nb = grid.neighbors(0)
+        assert nb["north"] == -1 and nb["west"] == -1
+        assert nb["south"] == 2 and nb["east"] == 1
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(6, dims=(4, 2))
+
+
+class TestNetModel:
+    def test_collectives_scale_logarithmically(self):
+        net = NetModel.from_config()
+        t4 = net.bcast(1024, 4)
+        t64 = net.bcast(1024, 64)
+        assert t64 == pytest.approx(t4 * 3, rel=0.01)  # log2(64)/log2(4)
+
+    def test_bandwidth_term(self):
+        net = NetModel.from_config()
+        small = net.ptp(8)
+        large = net.ptp(8 * 1024 * 1024)
+        assert large > small * 10
+
+    def test_single_rank_collectives_free(self):
+        net = NetModel.from_config()
+        assert net.bcast(4096, 1) == 0.0
+        assert net.allgather(4096, 1) == 0.0
+
+
+@given(extent=st.integers(1, 200), parts=st.integers(1, 16))
+@settings(max_examples=60)
+def test_block_bounds_partition(extent, parts):
+    """block_bounds tiles [0, extent) exactly, in order, without gaps."""
+    from repro.distributed.block import block_bounds
+
+    covered = []
+    for i in range(parts):
+        lo, hi = block_bounds(extent, parts, i)
+        assert 0 <= lo <= hi <= extent
+        covered.extend(range(lo, hi))
+    assert covered == list(range(extent))

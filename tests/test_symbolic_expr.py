@@ -1,0 +1,269 @@
+"""Unit and property tests for the symbolic expression algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (Add, Expr, FloorDiv, Integer, Max, Min, Mod, Mul,
+                            Symbol, definitely_eq, definitely_le,
+                            definitely_lt, simplify, sympify)
+
+N = Symbol("N")
+M = Symbol("M")
+P = Symbol("P", positive=True)
+
+
+class TestConstruction:
+    def test_sympify_int(self):
+        assert sympify(5) == Integer(5)
+
+    def test_sympify_expr_identity(self):
+        assert sympify(N) is N
+
+    def test_sympify_numpy_int(self):
+        assert sympify(np.int64(7)) == Integer(7)
+
+    def test_sympify_rejects_bool(self):
+        with pytest.raises(TypeError):
+            sympify(True)
+
+    def test_sympify_rejects_float(self):
+        with pytest.raises(TypeError):
+            sympify(1.5)
+
+    def test_symbol_requires_name(self):
+        with pytest.raises(ValueError):
+            Symbol("")
+
+    def test_integer_requires_int(self):
+        with pytest.raises(TypeError):
+            Integer(1.5)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            N.name = "other"
+        with pytest.raises(AttributeError):
+            Integer(3).value = 4
+
+
+class TestArithmetic:
+    def test_add_constants(self):
+        assert Integer(2) + 3 == Integer(5)
+
+    def test_collect_terms(self):
+        assert N + N == 2 * N
+
+    def test_cancel_terms(self):
+        assert (N + 3) - N == Integer(3)
+
+    def test_subtraction_to_zero(self):
+        assert N - N == Integer(0)
+
+    def test_distribution(self):
+        assert (N + 1) * 2 == 2 * N + 2
+
+    def test_product_of_sums(self):
+        expr = (N + 1) * (M + 2)
+        assert expr == N * M + 2 * N + M + 2
+
+    def test_mul_by_zero(self):
+        assert N * 0 == Integer(0)
+
+    def test_power(self):
+        assert N ** 2 == N * N
+
+    def test_negation(self):
+        assert -(N - M) == M - N
+
+    def test_floordiv_by_one(self):
+        assert (N // 1) == N
+
+    def test_floordiv_constant_fold(self):
+        assert Integer(7) // 2 == Integer(3)
+
+    def test_floordiv_exact_polynomial(self):
+        assert (2 * N + 4) // 2 == N + 2
+
+    def test_floordiv_inexact_stays_opaque(self):
+        expr = (N + 1) // 2
+        assert isinstance(expr, FloorDiv)
+
+    def test_floordiv_self(self):
+        assert N // N == Integer(1)
+
+    def test_floordiv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            N // 0
+
+    def test_mod_by_one(self):
+        assert N % 1 == Integer(0)
+
+    def test_mod_self(self):
+        assert N % N == Integer(0)
+
+    def test_mod_constant_fold(self):
+        assert Integer(7) % 3 == Integer(1)
+
+
+class TestMinMax:
+    def test_min_constants(self):
+        assert Min.make(3, 5) == Integer(3)
+
+    def test_max_constants(self):
+        assert Max.make(3, 5) == Integer(5)
+
+    def test_min_dedup(self):
+        assert Min.make(N, N) == N
+
+    def test_min_flattening(self):
+        inner = Min.make(N, M)
+        assert Min.make(inner, 5) == Min.make(N, M, 5)
+
+    def test_minmax_evaluate(self):
+        expr = Min.make(N, M) + Max.make(N, M)
+        assert expr.evaluate({"N": 3, "M": 8}) == 11
+
+
+class TestSubstitutionEvaluation:
+    def test_subs_by_name(self):
+        assert (N + 1).subs({"N": 4}) == Integer(5)
+
+    def test_subs_by_symbol(self):
+        assert (N * M).subs({N: 2}) == 2 * M
+
+    def test_subs_with_expr(self):
+        assert (N + 1).subs({"N": M * 2}) == 2 * M + 1
+
+    def test_evaluate_missing_symbol(self):
+        with pytest.raises(KeyError):
+            (N + M).evaluate({"N": 1})
+
+    def test_free_symbols(self):
+        assert (N * M + 3).free_symbols == frozenset((N, M))
+
+    def test_deepcopy_is_identity(self):
+        import copy
+
+        expr = N * M + 3
+        assert copy.deepcopy(expr) is expr
+
+
+class TestOrderingQueries:
+    def test_le_constants(self):
+        assert definitely_le(2, 3) is True
+        assert definitely_le(3, 2) is False
+
+    def test_le_symbolic_offset(self):
+        assert definitely_le(N, N + 1) is True
+        assert definitely_le(N + 1, N) is False
+
+    def test_le_unknown(self):
+        assert definitely_le(N, M) is None
+
+    def test_lt_strict(self):
+        assert definitely_lt(N, N + 1) is True
+        assert definitely_lt(N, N) is False
+
+    def test_nonnegative_symbol(self):
+        assert N.is_nonnegative() is True
+        assert N.is_positive() is None
+
+    def test_positive_symbol(self):
+        assert P.is_positive() is True
+
+    def test_signed_symbol(self):
+        i = Symbol("i", nonnegative=False)
+        assert i.is_nonnegative() is None
+
+    def test_eq_structural(self):
+        assert definitely_eq(N + N, 2 * N) is True
+        assert definitely_eq(N, N + 1) is False
+        assert definitely_eq(N, M) is None
+
+    def test_sum_of_nonneg_positive(self):
+        assert (N + 1).is_positive() is True
+
+    def test_product_nonneg(self):
+        assert (N * M).is_nonnegative() is True
+
+    def test_negative_coefficient(self):
+        assert (-N - 1).is_positive() is False
+
+
+class TestStringForms:
+    def test_str_roundtrip_simple(self):
+        assert str(N + 1) == "1 + N"
+
+    def test_str_mul(self):
+        assert str(2 * N) == "2*N"
+
+    def test_str_min(self):
+        assert str(Min.make(N, M)) in ("Min(M, N)", "Min(N, M)")
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: the algebra must agree with integer arithmetic
+# ---------------------------------------------------------------------------
+
+small_ints = st.integers(min_value=-8, max_value=8)
+env_values = st.integers(min_value=0, max_value=20)
+
+
+def build_expr(coeffs, env):
+    """Affine expression sum(c_i * sym_i) + c0."""
+    syms = [Symbol(name) for name in env]
+    expr: Expr = Integer(coeffs[-1])
+    for c, s in zip(coeffs, syms):
+        expr = expr + Integer(c) * s
+    return expr
+
+
+@given(a=small_ints, b=small_ints, c=small_ints,
+       n=env_values, m=env_values)
+@settings(max_examples=60)
+def test_affine_evaluation_matches_python(a, b, c, n, m):
+    expr = a * N + b * M + c
+    if isinstance(expr, Expr):
+        assert expr.evaluate({"N": n, "M": m}) == a * n + b * m + c
+
+
+@given(a=small_ints, b=small_ints, n=env_values, m=env_values)
+@settings(max_examples=60)
+def test_addition_commutes(a, b, n, m):
+    left = (a * N) + (b * M)
+    right = (b * M) + (a * N)
+    assert left == right
+
+
+@given(a=small_ints, b=small_ints, c=small_ints,
+       n=env_values, m=env_values)
+@settings(max_examples=60)
+def test_distribution_matches(a, b, c, n, m):
+    expr = (a * N + b) * c
+    assert expr.evaluate({"N": n, "M": m}) == (a * n + b) * c
+
+
+@given(x=st.integers(min_value=-50, max_value=50),
+       d=st.integers(min_value=1, max_value=9))
+@settings(max_examples=60)
+def test_floordiv_mod_match_python(x, d):
+    fd = Integer(x) // Integer(d)
+    md = Integer(x) % Integer(d)
+    assert fd == Integer(x // d)
+    assert md == Integer(x % d)
+
+
+@given(n=env_values, m=env_values, k=small_ints)
+@settings(max_examples=60)
+def test_definitely_le_is_sound(n, m, k):
+    """If the engine says a <= b, it must hold for every valuation."""
+    a = N + k
+    b = N + m
+    verdict = definitely_le(a, b)
+    concrete_a = n + k
+    concrete_b = n + m
+    if verdict is True:
+        assert concrete_a <= concrete_b
+    elif verdict is False:
+        assert concrete_a > concrete_b
