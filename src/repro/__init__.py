@@ -13,6 +13,7 @@ from .dtypes import (bool_, complex64, complex128, float32, float64, int8,
                      uint64)
 from .frontend.decorator import DaceProgram, map_marker as map, program
 from .ir import SDFG, InterstateEdge, Memlet, SDFGState
+from .resilience import FailureReport, ResilienceWarning
 from .symbolic import Range, Symbol
 
 __version__ = "1.0.0"
@@ -20,6 +21,7 @@ __version__ = "1.0.0"
 __all__ = [
     "program", "DaceProgram", "map", "symbol", "Config",
     "SDFG", "SDFGState", "Memlet", "InterstateEdge", "Range", "Symbol",
+    "FailureReport", "ResilienceWarning",
     "bool_", "int8", "int16", "int32", "int64",
     "uint8", "uint16", "uint32", "uint64",
     "float32", "float64", "complex64", "complex128",

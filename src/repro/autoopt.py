@@ -14,9 +14,18 @@
 Device-specific passes follow: OpenMP-collapse for CPU, the
 ``{GPU,FPGA}TransformSDFG`` passes for accelerators, and finally library
 nodes are specialized using the per-platform priority lists (§3.2).
+
+Under ``resilience.transactional`` each step runs as a transaction: a step
+that raises (or leaves an invalid graph behind) is rolled back and recorded
+in the :class:`repro.resilience.FailureReport`, and optimization continues
+with the remaining steps — an optimization failure degrades the result, it
+does not corrupt it.
 """
 
 from __future__ import annotations
+
+import warnings
+from typing import Callable, Optional
 
 from .config import Config
 
@@ -24,12 +33,14 @@ __all__ = ["auto_optimize"]
 
 
 def auto_optimize(sdfg, device: str = "CPU", use_fast_library: bool = True,
-                  passes: dict = None):
+                  passes: dict = None, report=None):
     """Auto-optimize *sdfg* in place for *device*; returns the SDFG.
 
     ``passes`` optionally disables individual steps (for the ablation
-    benchmarks), e.g. ``passes={"fusion": False}``.
+    benchmarks), e.g. ``passes={"fusion": False}``.  ``report`` optionally
+    collects rolled-back steps in a :class:`repro.resilience.FailureReport`.
     """
+    from .resilience import FailureReport, ResilienceWarning, SDFGSnapshot
     from .transformations.dataflow.cleanup import DegenerateMapRemoval
     from .transformations.dataflow.loop_to_map import LoopToMap
     from .transformations.dataflow.map_collapse import MapCollapse
@@ -50,30 +61,64 @@ def auto_optimize(sdfg, device: str = "CPU", use_fast_library: bool = True,
     }
     enabled.update(passes or {})
 
-    # (1) map scope cleanup
-    if enabled["cleanup"]:
-        DegenerateMapRemoval.apply_repeated(sdfg)
-    if enabled["loop_to_map"]:
+    transactional = Config.get("resilience.transactional")
+    if report is None:
+        report = FailureReport()
+
+    def step(name: str, thunk: Callable[[], None]) -> None:
+        if not enabled.get(name, True):
+            return
+        if not transactional:
+            thunk()
+            return
+        snapshot = SDFGSnapshot.capture(sdfg)
+        try:
+            thunk()
+            if not Config.get("validate.after_transform"):
+                sdfg.validate()
+        except Exception as exc:
+            snapshot.restore(sdfg)
+            report.record("optimization", name, exc, "rolled-back",
+                          device=device)
+            warnings.warn(
+                f"auto_optimize step {name!r} failed "
+                f"({type(exc).__name__}: {exc}); rolled back and continuing",
+                ResilienceWarning, stacklevel=3)
+
+    def loop_to_map_to_fixed_point() -> None:
+        cap = Config.get("resilience.max_pass_applications")
+        count = 0
         while LoopToMap.apply_once(sdfg):
-            simplify_pass(sdfg)
-    if enabled["collapse"]:
-        MapCollapse.apply_repeated(sdfg)
+            simplify_pass(sdfg, report=report)
+            count += 1
+            if count >= cap:
+                warnings.warn(
+                    f"auto_optimize: LoopToMap hit the application cap "
+                    f"({cap}) on {sdfg.name!r}; stopping",
+                    ResilienceWarning, stacklevel=2)
+                break
+
+    # (1) map scope cleanup
+    step("cleanup", lambda: DegenerateMapRemoval.apply_repeated(sdfg))
+    step("loop_to_map", loop_to_map_to_fixed_point)
+    step("collapse", lambda: MapCollapse.apply_repeated(sdfg))
 
     # (2) greedy subgraph fusion
-    if enabled["fusion"]:
+    def fusion() -> None:
         GreedySubgraphFusion.apply_repeated(sdfg)
-        simplify_pass(sdfg)
+        simplify_pass(sdfg, report=report)
+
+    step("fusion", fusion)
 
     # (3) tile WCR maps
-    if enabled["tile_wcr"]:
-        TileWCRMaps.apply_repeated(sdfg, tile_size=Config.get("optimizer.tile_size"))
+    step("tile_wcr", lambda: TileWCRMaps.apply_repeated(
+        sdfg, tile_size=Config.get("optimizer.tile_size")))
 
     # (4) transient allocation mitigation
-    if enabled["transients"]:
-        TransientAllocationMitigation.apply_repeated(sdfg)
+    step("transients", lambda: TransientAllocationMitigation.apply_repeated(sdfg))
 
     # device-specific passes
-    if enabled["device"]:
+    def device_passes() -> None:
         if device == "CPU":
             from .transformations.device.cpu_transform import CPUParallelize
 
@@ -93,8 +138,14 @@ def auto_optimize(sdfg, device: str = "CPU", use_fast_library: bool = True,
         else:
             raise ValueError(f"unknown device {device!r}")
 
+    if enabled["device"]:
+        if device not in ("CPU", "GPU", "FPGA"):
+            # a bad device name is a caller error, never a step failure to absorb
+            raise ValueError(f"unknown device {device!r}")
+        step("device", device_passes)
+
     # library specialization (§3.2)
-    if enabled["library"]:
+    def library() -> None:
         if use_fast_library:
             sdfg.expand_library_nodes(device=device)
         else:
@@ -103,5 +154,7 @@ def auto_optimize(sdfg, device: str = "CPU", use_fast_library: bool = True,
         if enabled["tile_wcr"]:
             TileWCRMaps.apply_repeated(
                 sdfg, tile_size=Config.get("optimizer.tile_size"))
+
+    step("library", library)
 
     return sdfg

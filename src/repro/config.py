@@ -18,6 +18,16 @@ _DEFAULTS: Dict[str, Any] = {
     "optimizer.stack_array_limit": 64,       # elements; below -> "stack" storage
     # Validation
     "validate.after_transform": True,
+    "validate.before_execute": True,         # run ir.validation before run_sdfg
+    # Resilience (see repro.resilience and DESIGN.md)
+    "resilience.mode": "strict",             # "strict" raises, "degrade" falls back
+    "resilience.transactional": True,        # snapshot/rollback around passes
+    "resilience.quarantine_threshold": 3,    # failures before a pass is skipped
+    "resilience.max_pass_applications": 10000,  # fixed-point application cap
+    # Fault injection / communication resilience (repro.simmpi)
+    "resilience.send_retries": 3,            # eager-send retransmissions
+    "resilience.retry_backoff_us": 10.0,     # virtual-clock backoff per retry
+    "resilience.comm_timeout_s": 60.0,       # blocking-op deadlock timeout
     # Simulated device parameters (see repro.runtime.perfmodel)
     "gpu.kernel_launch_us": 6.0,
     "gpu.bandwidth_gbs": 790.0,              # V100-class HBM2

@@ -57,6 +57,10 @@ class DaceProgram:
         self.backend = backend
         self._sdfg_cache: Dict[Tuple, SDFG] = {}
         self._compiled_cache: Dict[Tuple, Any] = {}
+        #: absorbed failures (rollbacks, degradations) across all calls
+        from ..resilience import FailureReport
+
+        self.failure_report = FailureReport()
         self._signature = inspect.signature(func)
         self._defaults = {
             name: param.default
@@ -184,7 +188,18 @@ class DaceProgram:
             descs = self._descs_from_args(args, kwargs)
         return descs
 
+    def _bind_call_kwargs(self, args, kwargs) -> Dict[str, Any]:
+        bound = self._signature.bind_partial(*args, **kwargs)
+        bound.apply_defaults()
+        call_kwargs = {}
+        for name, value in bound.arguments.items():
+            if isinstance(value, (np.ndarray, np.generic, int, float, complex, bool)):
+                call_kwargs[name] = value
+        return call_kwargs
+
     def __call__(self, *args, **kwargs):
+        if Config.get("resilience.mode") == "degrade":
+            return self._call_degrading(args, kwargs)
         fallback = self.fallback
         try:
             compiled = self.compile(*args, **kwargs)
@@ -195,13 +210,52 @@ class DaceProgram:
                     f"({exc})", RuntimeWarning, stacklevel=2)
                 return self.func(*args, **kwargs)
             raise
-        bound = self._signature.bind_partial(*args, **kwargs)
-        bound.apply_defaults()
-        call_kwargs = {}
-        for name, value in bound.arguments.items():
-            if isinstance(value, (np.ndarray, np.generic, int, float, complex, bool)):
-                call_kwargs[name] = value
-        return compiled(**call_kwargs)
+        return compiled(**self._bind_call_kwargs(args, kwargs))
+
+    def _call_degrading(self, args, kwargs):
+        """Graceful-degradation execution (``resilience.mode = "degrade"``).
+
+        Fallback chain: compiled/optimized SDFG → unoptimized SDFG on the
+        reference interpreter → the original Python function.  Arrays are
+        modified in place by the first two stages, so their input contents
+        are checkpointed and restored between attempts — a stage that dies
+        halfway through must not poison the next stage's inputs.
+        """
+        from ..resilience import ResilienceWarning
+
+        checkpoints = [(value, np.copy(value)) for value in
+                       list(args) + list(kwargs.values())
+                       if isinstance(value, np.ndarray)]
+
+        def restore_inputs() -> None:
+            for live, saved in checkpoints:
+                np.copyto(live, saved)
+
+        def degrade(stage: str, fallback: str, exc: BaseException) -> None:
+            self.failure_report.record(
+                "degradation", self.name, exc, f"fell-back:{fallback}",
+                stage=stage)
+            warnings.warn(
+                f"{self.name}: {stage} execution failed "
+                f"({type(exc).__name__}: {exc}); degrading to {fallback}",
+                ResilienceWarning, stacklevel=3)
+            restore_inputs()
+
+        try:
+            compiled = self.compile(*args, **kwargs)
+            return compiled(**self._bind_call_kwargs(args, kwargs))
+        except Exception as exc:
+            degrade("compiled", "interpreter", exc)
+
+        try:
+            from ..runtime.executor import run_sdfg
+
+            sdfg = self.to_sdfg(*args, **kwargs)
+            return run_sdfg(sdfg, **self._bind_call_kwargs(args, kwargs))
+        except Exception as exc:
+            degrade("interpreter", "python", exc)
+
+        return self.func(*args, **kwargs)
 
     def __repr__(self) -> str:
         return f"DaceProgram({self.name})"

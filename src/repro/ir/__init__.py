@@ -19,7 +19,8 @@ from .nodes import (
 )
 from .sdfg import SDFG
 from .state import Edge, SDFGState
-from .validation import InvalidSDFGError, validate_sdfg, validate_state
+from .validation import (InvalidSDFGError, collect_validation_errors,
+                         validate_sdfg, validate_state)
 
 __all__ = [
     "SDFG",
@@ -46,6 +47,7 @@ __all__ = [
     "View",
     "make_map_scope",
     "InvalidSDFGError",
+    "collect_validation_errors",
     "validate_sdfg",
     "validate_state",
     "sdfg_to_dot",

@@ -313,16 +313,16 @@ class SDFG:
                     changed = True
         return total
 
-    def simplify(self) -> int:
+    def simplify(self, report=None) -> int:
         """Run the dataflow-coarsening pass (§2.4, the -O1 analogue)."""
         from ..transformations.pipeline import simplify_pass
 
-        return simplify_pass(self)
+        return simplify_pass(self, report=report)
 
-    def auto_optimize(self, device: str = "CPU") -> "SDFG":
+    def auto_optimize(self, device: str = "CPU", report=None) -> "SDFG":
         from ..autoopt import auto_optimize
 
-        return auto_optimize(self, device=device)
+        return auto_optimize(self, device=device, report=report)
 
     def validate(self) -> None:
         from .validation import validate_sdfg

@@ -20,7 +20,8 @@ from .nodes import (
     Tasklet,
 )
 
-__all__ = ["InvalidSDFGError", "validate_sdfg", "validate_state"]
+__all__ = ["InvalidSDFGError", "validate_sdfg", "validate_state",
+           "collect_validation_errors"]
 
 
 class InvalidSDFGError(ValueError):
@@ -42,6 +43,13 @@ class InvalidSDFGError(ValueError):
 
 
 def validate_sdfg(sdfg) -> None:
+    _validate_toplevel(sdfg)
+    for state in sdfg.states():
+        validate_state(state, sdfg)
+
+
+def _validate_toplevel(sdfg) -> None:
+    """SDFG-level invariants (state machine + interstate edges)."""
     if sdfg.start_state is None and sdfg.number_of_states() > 0:
         raise InvalidSDFGError("SDFG has states but no start state", sdfg=sdfg)
     labels = [s.label for s in sdfg.states()]
@@ -56,8 +64,26 @@ def validate_sdfg(sdfg) -> None:
                     raise InvalidSDFGError(
                         f"interstate edge references unknown symbol {name!r}",
                         sdfg=sdfg)
+
+
+def collect_validation_errors(sdfg) -> list:
+    """Validate without raising: return *every* violated invariant.
+
+    ``validate_sdfg`` stops at the first violation, which is right for the
+    transactional pipeline but unhelpful for diagnostics — a failure report
+    wants the complete damage assessment of a corrupted graph.
+    """
+    errors = []
+    try:
+        _validate_toplevel(sdfg)
+    except InvalidSDFGError as exc:
+        errors.append(exc)
     for state in sdfg.states():
-        validate_state(state, sdfg)
+        try:
+            validate_state(state, sdfg)
+        except InvalidSDFGError as exc:
+            errors.append(exc)
+    return errors
 
 
 def validate_state(state, sdfg=None) -> None:

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..config import Config
 from ..ir.data import Array, Scalar, Stream, View
 from ..ir.memlet import Memlet
 from ..ir.nodes import (
@@ -505,14 +506,20 @@ def collect_return(sdfg, containers):
     return tuple(results)
 
 
-def run_sdfg(sdfg, *args, validate: bool = True, **kwargs):
+def run_sdfg(sdfg, *args, validate: Optional[bool] = None, **kwargs):
     """Execute an SDFG with NumPy arguments.
 
     Positional arguments follow ``sdfg.arg_names``; keyword arguments bind
     containers (by name) and free symbols.  Returns the ``__return``
     container if the SDFG defines one, else None.  Arrays are modified
     in place, matching the paper's calling convention.
+
+    ``validate`` defaults to the ``validate.before_execute`` configuration
+    key: malformed graphs fail fast with an :class:`InvalidSDFGError`
+    naming the violated invariant instead of erroring deep inside a tasklet.
     """
+    if validate is None:
+        validate = Config.get("validate.before_execute")
     if validate:
         sdfg.validate()
     containers, symbols = prepare_arguments(sdfg, args, kwargs)

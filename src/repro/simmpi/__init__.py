@@ -1,8 +1,11 @@
-"""Simulated MPI: SPMD threads, mpi4py-style API, LogGP virtual clocks."""
+"""Simulated MPI: SPMD threads, mpi4py-style API, LogGP virtual clocks,
+fault injection, and deadlock diagnostics."""
 
-from .comm import Comm, Request, SimMPIError, VectorType, run_spmd
+from .comm import (Comm, DeadlockError, Request, SimMPIError, VectorType,
+                   run_spmd)
 from .grid import ProcessGrid, balanced_dims
-from .netmodel import NetModel
+from .netmodel import FaultPlan, NetModel
 
 __all__ = ["Comm", "Request", "VectorType", "run_spmd", "SimMPIError",
-           "ProcessGrid", "balanced_dims", "NetModel"]
+           "DeadlockError", "FaultPlan", "ProcessGrid", "balanced_dims",
+           "NetModel"]

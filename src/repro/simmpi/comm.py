@@ -8,23 +8,41 @@ deterministic and independent of host scheduling, while numerics are real.
 
 API mirrors mpi4py conventions: uppercase methods move NumPy buffers,
 collectives take root ranks, ``Isend/Irecv`` return requests with ``wait``.
+
+Resilience (see DESIGN.md): every blocking operation carries a timeout
+(``resilience.comm_timeout_s``) and, on expiry, raises a
+:class:`DeadlockError` listing every rank's pending operation instead of
+hanging the process.  A :class:`~repro.simmpi.netmodel.FaultPlan` injects
+message drops (survived through bounded retransmission with virtual-clock
+backoff), delays, duplicates (suppressed via per-channel sequence numbers),
+and mid-run rank crashes.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from .netmodel import NetModel
+from ..config import Config
+from .netmodel import FaultPlan, NetModel
 
-__all__ = ["Comm", "Request", "VectorType", "run_spmd", "SimMPIError"]
+__all__ = ["Comm", "Request", "VectorType", "run_spmd", "SimMPIError",
+           "DeadlockError", "FaultPlan"]
+
+#: polling granularity (wall-clock seconds) for blocking receives
+_POLL_S = 0.02
 
 
 class SimMPIError(RuntimeError):
     """Error inside the simulated MPI runtime."""
+
+
+class DeadlockError(SimMPIError):
+    """A blocking operation timed out; carries the who-waits-on-whom dump."""
 
 
 class VectorType:
@@ -74,8 +92,10 @@ class VectorType:
 class Request:
     """A pending nonblocking operation."""
 
-    def __init__(self, complete: Callable[[], None]):
+    def __init__(self, complete: Callable[[], None],
+                 try_complete: Optional[Callable[[], bool]] = None):
         self._complete = complete
+        self._try_complete = try_complete
         self._done = False
 
     def wait(self) -> None:
@@ -86,7 +106,16 @@ class Request:
     Wait = wait
 
     def test(self) -> bool:
+        """Attempt completion without blocking (mpi4py ``Test`` semantics):
+        completes the operation if it can finish now, else returns False."""
+        if self._done:
+            return True
+        if self._try_complete is not None and self._try_complete():
+            self._complete()
+            self._done = True
         return self._done
+
+    Test = test
 
     @staticmethod
     def waitall(requests: Sequence["Request"]) -> None:
@@ -94,21 +123,39 @@ class Request:
             if req is not None:
                 req.wait()
 
+    #: mpi4py API-parity alias (``Request.Waitall(reqs)``)
+    Waitall = waitall
+
 
 class _World:
     """Shared state of one SPMD execution."""
 
-    def __init__(self, size: int, net: NetModel):
+    def __init__(self, size: int, net: NetModel,
+                 fault_plan: Optional[FaultPlan] = None,
+                 timeout_s: Optional[float] = None):
         self.size = size
         self.net = net
+        self.fault_plan = fault_plan
+        self.timeout_s = (timeout_s if timeout_s is not None
+                          else Config.get("resilience.comm_timeout_s"))
         self.clocks = [0.0] * size
         self.mailboxes: Dict[Tuple[int, int, int], "queue.Queue"] = {}
         self._mail_lock = threading.Lock()
         self.barrier = threading.Barrier(size)
         self.coll_slots: List[Any] = [None] * size
-        self.comm_stats = {"messages": 0, "bytes": 0}
+        self.comm_stats = {"messages": 0, "bytes": 0, "retransmissions": 0,
+                           "duplicates_suppressed": 0}
         self._stats_lock = threading.Lock()
         self.failed: Optional[BaseException] = None
+        self._failed_lock = threading.Lock()
+        #: what each rank is currently blocked on (deadlock diagnostics)
+        self.pending: List[Optional[str]] = [None] * size
+        #: per-rank count of communication operations (crash injection)
+        self.op_counts = [0] * size
+        #: per-channel send sequence numbers and delivered-seq sets
+        self._seq: Dict[Tuple[int, int, int], int] = {}
+        self._seq_lock = threading.Lock()
+        self.delivered: Dict[Tuple[int, int, int], Set[int]] = {}
 
     def mailbox(self, src: int, dst: int, tag: int) -> "queue.Queue":
         key = (src, dst, tag)
@@ -118,10 +165,34 @@ class _World:
                 box = self.mailboxes[key] = queue.Queue()
             return box
 
-    def record(self, nbytes: int) -> None:
+    def next_seq(self, src: int, dst: int, tag: int) -> int:
+        key = (src, dst, tag)
+        with self._seq_lock:
+            seq = self._seq.get(key, 0)
+            self._seq[key] = seq + 1
+            return seq
+
+    def record(self, nbytes: int, stat: str = "messages") -> None:
         with self._stats_lock:
-            self.comm_stats["messages"] += 1
-            self.comm_stats["bytes"] += nbytes
+            self.comm_stats[stat] += 1
+            if stat == "messages":
+                self.comm_stats["bytes"] += nbytes
+
+    def fail(self, exc: BaseException) -> None:
+        """Record the first rank failure and break everyone out of barriers."""
+        with self._failed_lock:
+            if self.failed is None:
+                self.failed = exc
+        self.barrier.abort()
+
+    def deadlock_dump(self, rank: int, desc: str) -> str:
+        lines = [
+            f"deadlock: rank {rank} timed out in {desc} after "
+            f"{self.timeout_s:g}s; pending operations:"
+        ]
+        for r, op in enumerate(self.pending):
+            lines.append(f"  rank {r}: {op or '<not blocked in communication>'}")
+        return "\n".join(lines)
 
 
 class Comm:
@@ -147,6 +218,24 @@ class Comm:
         """Account local compute time on this rank's virtual clock."""
         self._world.clocks[self.rank] += seconds
 
+    # -- fault hooks -------------------------------------------------------
+    def _op(self, desc: str) -> None:
+        """Count a communication operation; fire an injected rank crash."""
+        world = self._world
+        world.op_counts[self.rank] += 1
+        plan = world.fault_plan
+        if plan is not None and \
+                plan.should_crash(self.rank, world.op_counts[self.rank]):
+            raise SimMPIError(
+                f"injected crash on rank {self.rank} during {desc} "
+                f"(operation #{world.op_counts[self.rank]})")
+
+    def _check_aborted(self) -> None:
+        if self._world.failed is not None:
+            raise SimMPIError(
+                f"rank {self.rank} aborted: a peer rank already failed "
+                f"({self._world.failed})") from self._world.failed
+
     # -- point-to-point -----------------------------------------------------
     def _payload(self, buf, datatype: Optional[VectorType]):
         arr = np.asarray(buf)
@@ -158,21 +247,67 @@ class Comm:
 
     def Send(self, buf, dest: int, tag: int = 0,
              datatype: Optional[VectorType] = None) -> None:
+        self._op(f"Send(dest={dest}, tag={tag})")
         data, nbytes = self._payload(buf, datatype)
-        net = self._world.net
-        self._world.clocks[self.rank] += net.send_overhead(nbytes)
-        self._world.record(nbytes)
-        self._world.mailbox(self.rank, dest, tag).put(
-            (data, self._world.clocks[self.rank], nbytes))
+        world = self._world
+        net = world.net
+        plan = world.fault_plan
+        channel = (self.rank, dest, tag)
+        seq = world.next_seq(self.rank, dest, tag)
+        retries = Config.get("resilience.send_retries")
+        backoff = Config.get("resilience.retry_backoff_us") * 1e-6
+        attempt = 0
+        while True:
+            world.clocks[self.rank] += net.send_overhead(nbytes)
+            world.record(nbytes)
+            if plan is not None and plan.drop(channel):
+                attempt += 1
+                if attempt > retries:
+                    raise SimMPIError(
+                        f"message rank {self.rank} -> rank {dest} (tag={tag}, "
+                        f"seq={seq}) lost: dropped on all "
+                        f"{attempt} attempts ({retries} retransmissions)")
+                # retransmission: exponential-ish backoff on the virtual clock
+                world.clocks[self.rank] += backoff * attempt
+                world.record(nbytes, stat="retransmissions")
+                continue
+            delay = plan.delay(channel) if plan is not None else 0.0
+            box = world.mailbox(self.rank, dest, tag)
+            box.put((seq, data, world.clocks[self.rank] + delay, nbytes))
+            if plan is not None and plan.duplicate(channel):
+                box.put((seq, data, world.clocks[self.rank] + delay, nbytes))
+            return
 
     def Recv(self, buf, source: int, tag: int = 0,
              datatype: Optional[VectorType] = None):
-        data, sent_at, nbytes = self._world.mailbox(source, self.rank, tag).get()
-        arrival = sent_at + self._world.net.transit(nbytes) \
-            - self._world.net.send_overhead(nbytes)
-        self._world.clocks[self.rank] = max(self._world.clocks[self.rank],
-                                            sent_at + self._world.net.latency_s)
-        del arrival
+        desc = f"Recv(source={source}, tag={tag})"
+        self._op(desc)
+        world = self._world
+        box = world.mailbox(source, self.rank, tag)
+        delivered = world.delivered.setdefault((source, self.rank, tag), set())
+        world.pending[self.rank] = desc
+        deadline = time.monotonic() + world.timeout_s
+        try:
+            while True:
+                self._check_aborted()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(world.deadlock_dump(self.rank, desc))
+                try:
+                    seq, data, sent_at, nbytes = box.get(
+                        timeout=min(remaining, _POLL_S))
+                except queue.Empty:
+                    continue
+                if seq in delivered:
+                    # duplicate injected by the fault plan: suppress
+                    world.record(nbytes, stat="duplicates_suppressed")
+                    continue
+                delivered.add(seq)
+                break
+        finally:
+            world.pending[self.rank] = None
+        world.clocks[self.rank] = max(world.clocks[self.rank],
+                                      sent_at + world.net.latency_s)
         target = np.asarray(buf)
         if datatype is not None:
             datatype.unpack(target.reshape(-1), data)
@@ -189,10 +324,12 @@ class Comm:
 
     def Irecv(self, buf, source: int, tag: int = 0,
               datatype: Optional[VectorType] = None) -> Request:
+        box = self._world.mailbox(source, self.rank, tag)
+
         def complete():
             self.Recv(buf, source, tag, datatype)
 
-        return Request(complete)
+        return Request(complete, try_complete=lambda: not box.empty())
 
     def Waitall(self, requests: Sequence[Request]) -> None:
         Request.waitall(requests)
@@ -204,78 +341,102 @@ class Comm:
         req.wait()
 
     # -- collectives ----------------------------------------------------------
-    def _exchange(self, value):
+    def _barrier_wait(self, desc: str) -> None:
+        """One synchronization point with deadlock/abort diagnostics."""
+        world = self._world
+        world.pending[self.rank] = desc
+        try:
+            world.barrier.wait(timeout=world.timeout_s)
+        except threading.BrokenBarrierError:
+            self._check_aborted()
+            raise DeadlockError(world.deadlock_dump(self.rank, desc)) from None
+        finally:
+            world.pending[self.rank] = None
+
+    def _exchange(self, value, desc: str = "collective"):
         """All ranks deposit a value; returns the full slot list."""
         world = self._world
         world.coll_slots[self.rank] = value
-        world.barrier.wait()
+        self._barrier_wait(desc)
         slots = list(world.coll_slots)
-        world.barrier.wait()
+        self._barrier_wait(desc)
         return slots
 
-    def _sync_clocks(self, cost: float) -> None:
+    def _sync_clocks(self, cost: float, desc: str = "collective") -> None:
         """Collectives synchronize: all clocks advance to max + cost."""
         world = self._world
         world.coll_slots[self.rank] = world.clocks[self.rank]
-        world.barrier.wait()
+        self._barrier_wait(desc)
         peak = max(world.coll_slots)
-        world.barrier.wait()
+        self._barrier_wait(desc)
         world.clocks[self.rank] = peak + cost
 
     def Barrier(self) -> None:
-        self._sync_clocks(self._world.net.barrier(self.size))
+        self._op("Barrier()")
+        self._sync_clocks(self._world.net.barrier(self.size), "Barrier()")
 
     def Bcast(self, buf, root: int = 0):
+        self._op(f"Bcast(root={root})")
         arr = np.asarray(buf)
-        slots = self._exchange(np.copy(arr) if self.rank == root else None)
+        desc = f"Bcast(root={root})"
+        slots = self._exchange(np.copy(arr) if self.rank == root else None, desc)
         if self.rank != root:
             np.copyto(arr, slots[root].reshape(arr.shape))
-        self._sync_clocks(self._world.net.bcast(arr.nbytes, self.size))
+        self._sync_clocks(self._world.net.bcast(arr.nbytes, self.size), desc)
         self._world.record(arr.nbytes * (self.size - 1))
         return arr
 
     def bcast(self, obj, root: int = 0):
-        slots = self._exchange(obj if self.rank == root else None)
+        self._op(f"bcast(root={root})")
+        desc = f"bcast(root={root})"
+        slots = self._exchange(obj if self.rank == root else None, desc)
         nbytes = getattr(slots[root], "nbytes", 64)
-        self._sync_clocks(self._world.net.bcast(int(nbytes), self.size))
+        self._sync_clocks(self._world.net.bcast(int(nbytes), self.size), desc)
         return slots[root]
 
     def Scatter(self, sendbuf, recvbuf, root: int = 0):
+        self._op(f"Scatter(root={root})")
+        desc = f"Scatter(root={root})"
         recv = np.asarray(recvbuf)
         slots = self._exchange(np.copy(np.asarray(sendbuf))
-                               if self.rank == root else None)
+                               if self.rank == root else None, desc)
         chunks = slots[root].reshape((self.size,) + recv.shape)
         np.copyto(recv, chunks[self.rank])
         total = int(chunks.nbytes)
-        self._sync_clocks(self._world.net.scatter(total, self.size))
+        self._sync_clocks(self._world.net.scatter(total, self.size), desc)
         self._world.record(total)
         return recv
 
     def Gather(self, sendbuf, recvbuf, root: int = 0):
+        self._op(f"Gather(root={root})")
+        desc = f"Gather(root={root})"
         send = np.copy(np.asarray(sendbuf))
-        slots = self._exchange(send)
+        slots = self._exchange(send, desc)
         if self.rank == root and recvbuf is not None:
             recv = np.asarray(recvbuf)
             stacked = np.stack([s.reshape(send.shape) for s in slots])
             np.copyto(recv, stacked.reshape(recv.shape))
         total = send.nbytes * self.size
-        self._sync_clocks(self._world.net.gather(total, self.size))
+        self._sync_clocks(self._world.net.gather(total, self.size), desc)
         self._world.record(total)
         return recvbuf
 
     def Allgather(self, sendbuf, recvbuf):
+        self._op("Allgather()")
         send = np.copy(np.asarray(sendbuf))
-        slots = self._exchange(send)
+        slots = self._exchange(send, "Allgather()")
         recv = np.asarray(recvbuf)
         stacked = np.stack([s.reshape(send.shape) for s in slots])
         np.copyto(recv, stacked.reshape(recv.shape))
-        self._sync_clocks(self._world.net.allgather(send.nbytes, self.size))
+        self._sync_clocks(self._world.net.allgather(send.nbytes, self.size),
+                          "Allgather()")
         self._world.record(send.nbytes * (self.size - 1))
         return recv
 
     def Allreduce(self, sendbuf, recvbuf, op: str = "sum"):
+        self._op(f"Allreduce(op={op!r})")
         send = np.copy(np.asarray(sendbuf))
-        slots = self._exchange(send)
+        slots = self._exchange(send, f"Allreduce(op={op!r})")
         from ..runtime.wcr import WCR_UFUNC
 
         ufunc = WCR_UFUNC[op]
@@ -284,13 +445,16 @@ class Comm:
             total = ufunc(total, s)
         recv = np.asarray(recvbuf)
         np.copyto(recv, total.reshape(recv.shape))
-        self._sync_clocks(self._world.net.allreduce(send.nbytes, self.size))
+        self._sync_clocks(self._world.net.allreduce(send.nbytes, self.size),
+                          f"Allreduce(op={op!r})")
         self._world.record(send.nbytes * (self.size - 1))
         return recv
 
     def Reduce(self, sendbuf, recvbuf, op: str = "sum", root: int = 0):
+        self._op(f"Reduce(op={op!r}, root={root})")
+        desc = f"Reduce(op={op!r}, root={root})"
         send = np.copy(np.asarray(sendbuf))
-        slots = self._exchange(send)
+        slots = self._exchange(send, desc)
         if self.rank == root and recvbuf is not None:
             from ..runtime.wcr import WCR_UFUNC
 
@@ -300,37 +464,47 @@ class Comm:
                 total = ufunc(total, s)
             recv = np.asarray(recvbuf)
             np.copyto(recv, total.reshape(recv.shape))
-        self._sync_clocks(self._world.net.reduce(send.nbytes, self.size))
+        self._sync_clocks(self._world.net.reduce(send.nbytes, self.size), desc)
         self._world.record(send.nbytes * (self.size - 1))
         return recvbuf
 
     def Alltoall(self, sendbuf, recvbuf):
+        self._op("Alltoall()")
         send = np.copy(np.asarray(sendbuf)).reshape((self.size, -1))
-        slots = self._exchange(send)
+        slots = self._exchange(send, "Alltoall()")
         recv = np.asarray(recvbuf).reshape((self.size, -1))
         for src in range(self.size):
             recv[src] = slots[src][self.rank]
-        self._sync_clocks(self._world.net.alltoall(send[0].nbytes, self.size))
+        self._sync_clocks(self._world.net.alltoall(send[0].nbytes, self.size),
+                          "Alltoall()")
         self._world.record(send.nbytes)
         return recvbuf
 
 
 def run_spmd(func: Callable[[Comm], Any], size: int,
-             net: Optional[NetModel] = None) -> Tuple[List[Any], List[float], Dict]:
+             net: Optional[NetModel] = None,
+             fault_plan: Optional[FaultPlan] = None,
+             timeout_s: Optional[float] = None) -> Tuple[List[Any], List[float], Dict]:
     """Run ``func(comm)`` on *size* simulated ranks.
 
     Returns (per-rank results, per-rank virtual clocks, communication stats).
-    Exceptions on any rank abort the execution and re-raise.
+    Exceptions on any rank abort the execution and re-raise; a
+    :class:`DeadlockError` (blocking operation exceeding *timeout_s*,
+    default ``resilience.comm_timeout_s``) re-raises with the full
+    per-rank pending-operation dump.  *fault_plan* optionally injects
+    message drops, delays, duplicates, and rank crashes.
     """
-    world = _World(size, net or NetModel.from_config())
+    world = _World(size, net or NetModel.from_config(),
+                   fault_plan=fault_plan, timeout_s=timeout_s)
     results: List[Any] = [None] * size
 
     def runner(rank: int) -> None:
         try:
             results[rank] = func(Comm(world, rank))
         except BaseException as exc:  # noqa: BLE001 - propagated to caller
-            world.failed = exc
-            world.barrier.abort()
+            world.fail(exc)
+        finally:
+            world.pending[rank] = "<finished>"
 
     threads = [threading.Thread(target=runner, args=(r,), daemon=True)
                for r in range(size)]
@@ -339,5 +513,7 @@ def run_spmd(func: Callable[[Comm], Any], size: int,
     for t in threads:
         t.join()
     if world.failed is not None:
+        if isinstance(world.failed, DeadlockError):
+            raise world.failed
         raise SimMPIError(f"rank failure: {world.failed}") from world.failed
     return results, world.clocks, world.comm_stats

@@ -10,11 +10,14 @@ model composes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 from ..config import Config
 
-__all__ = ["NetModel"]
+__all__ = ["NetModel", "FaultPlan"]
 
 
 @dataclass
@@ -89,3 +92,81 @@ class NetModel:
 
     def barrier(self, size: int) -> float:
         return self.allreduce(8, size)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded fault-injection plan for the simulated network.
+
+    Injected faults model real-world communication hiccups: message *drops*
+    (the eager protocol retransmits with backoff, see ``Comm.Send``),
+    *delays* (extra wire latency on the virtual clock), *duplicates*
+    (suppressed at the receiver through per-channel sequence numbers), and
+    *rank crashes* after a given number of communication operations.
+
+    Decisions draw from one ``random.Random(seed)`` stream.  With
+    probabilities of 0 or 1 (optionally bounded by ``max_drops`` /
+    ``max_duplicates``) plans are fully deterministic; fractional
+    probabilities are deterministic per-draw but the draw order depends on
+    thread interleaving across ranks.
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_s: float = 0.0
+    duplicate_prob: float = 0.0
+    crash_rank: Optional[int] = None
+    crash_after_ops: int = 1
+    max_drops: Optional[int] = None
+    max_duplicates: Optional[int] = None
+    injected: dict = field(default_factory=lambda: {
+        "drops": 0, "delays": 0, "duplicates": 0, "crashes": 0})
+
+    def __post_init__(self):
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+
+    def _roll(self, prob: float) -> bool:
+        if prob <= 0.0:
+            return False
+        if prob >= 1.0:
+            return True
+        return self._rng.random() < prob
+
+    # -- per-event decisions (channel = (src, dst, tag)) -------------------
+    def drop(self, channel: Tuple[int, int, int]) -> bool:
+        with self._lock:
+            if self.max_drops is not None and \
+                    self.injected["drops"] >= self.max_drops:
+                return False
+            if self._roll(self.drop_prob):
+                self.injected["drops"] += 1
+                return True
+            return False
+
+    def delay(self, channel: Tuple[int, int, int]) -> float:
+        with self._lock:
+            if self._roll(self.delay_prob):
+                self.injected["delays"] += 1
+                return self.delay_s
+            return 0.0
+
+    def duplicate(self, channel: Tuple[int, int, int]) -> bool:
+        with self._lock:
+            if self.max_duplicates is not None and \
+                    self.injected["duplicates"] >= self.max_duplicates:
+                return False
+            if self._roll(self.duplicate_prob):
+                self.injected["duplicates"] += 1
+                return True
+            return False
+
+    def should_crash(self, rank: int, ops_completed: int) -> bool:
+        if self.crash_rank != rank:
+            return False
+        with self._lock:
+            if ops_completed >= self.crash_after_ops:
+                self.injected["crashes"] += 1
+                return True
+            return False

@@ -4,10 +4,21 @@
 analogue): a fixed set of transformations that only modify or remove graph
 elements, so the pass terminates.  ``auto_optimize`` (§3.1) lives in
 :mod:`repro.autoopt` and builds on these.
+
+The driver is *transactional* (``resilience.transactional``): every member
+pass runs under snapshot → apply → validate → rollback-on-failure, passes
+that keep failing on the same SDFG are quarantined, and the fixed-point loop
+is guarded by an application cap plus an oscillation detector, so a buggy
+pass (or a buggy pair of passes undoing each other) degrades the pipeline
+instead of corrupting the graph or looping forever.
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import Optional
+
+from ..config import Config
 from .base import Transformation
 from .dataflow.cleanup import (
     DeadDataflowElimination,
@@ -32,23 +43,70 @@ SIMPLIFY_TRANSFORMATIONS = [
 ]
 
 
-def simplify_pass(sdfg) -> int:
+def simplify_pass(sdfg, report=None) -> int:
     """Run the coarsening transformations to a fixed point; returns the
-    total number of applications."""
+    total number of applications.
+
+    ``report`` optionally receives a :class:`repro.resilience.FailureReport`
+    that collects every rolled-back pass instead of crashing the pipeline.
+    """
     from ..ir.nodes import NestedSDFG
+    from ..resilience import (
+        FailureReport,
+        OscillationDetector,
+        Quarantine,
+        ResilienceWarning,
+        transactional_apply,
+        transformation_name,
+    )
+
+    transactional = Config.get("resilience.transactional")
+    cap = Config.get("resilience.max_pass_applications")
+    if report is None:
+        report = FailureReport()
+    quarantine = Quarantine()
 
     # nested SDFGs coarsen first, so single-state callees become inlinable
     total = 0
     for state in sdfg.states():
         for node in state.nodes():
             if isinstance(node, NestedSDFG):
-                total += simplify_pass(node.sdfg)
+                total += simplify_pass(node.sdfg, report=report)
+
+    detector = OscillationDetector()
+    detector.observe(sdfg)
     changed = True
     while changed:
         changed = False
+        sweep_active = []
         for transformation in SIMPLIFY_TRANSFORMATIONS:
-            applied = transformation.apply_repeated(sdfg)
+            name = transformation_name(transformation)
+            if quarantine.is_quarantined(name):
+                continue
+            remaining = max(0, cap - total)
+            if transactional:
+                applied = transactional_apply(
+                    sdfg, transformation, report=report,
+                    quarantine=quarantine, max_applications=remaining)
+            else:
+                applied = transformation.apply_repeated(
+                    sdfg, max_applications=remaining)
             if applied:
                 total += applied
                 changed = True
+                sweep_active.append(name)
+        if total >= cap:
+            warnings.warn(
+                f"simplify_pass on {sdfg.name!r} hit the application cap "
+                f"({cap}); likely non-terminating transformation(s): "
+                f"{', '.join(sweep_active) or 'unknown'}",
+                ResilienceWarning, stacklevel=2)
+            break
+        if changed and detector.observe(sdfg):
+            warnings.warn(
+                f"simplify_pass on {sdfg.name!r} is oscillating: "
+                f"transformation(s) {', '.join(sweep_active)} returned the "
+                f"graph to a previously-seen state; stopping the fixed-point "
+                f"loop", ResilienceWarning, stacklevel=2)
+            break
     return total

@@ -221,3 +221,46 @@ class TestStreams:
         B = np.zeros(4)
         run_sdfg(sdfg, A=A, B=B)
         assert np.allclose(B, A)  # FIFO order preserved
+
+
+class TestInferSymbolErrors:
+    """Error paths of symbol inference (static symbolic typing, §2.3)."""
+
+    def _sdfg(self, shapes):
+        sdfg = SDFG("sym")
+        for name, shape in shapes.items():
+            sdfg.add_array(name, shape, repro.float64)
+        sdfg.add_state("s0")
+        return sdfg
+
+    def test_rank_mismatch(self):
+        from repro.runtime.executor import infer_symbols
+
+        sdfg = self._sdfg({"A": (N,)})
+        with pytest.raises(ExecutionError, match="dimensions"):
+            infer_symbols(sdfg, {"A": np.zeros((2, 2))})
+
+    def test_inconsistent_symbol_bindings(self):
+        from repro.runtime.executor import infer_symbols
+
+        sdfg = self._sdfg({"A": (N,), "B": (N,)})
+        with pytest.raises(ExecutionError, match="inconsistent value for symbol N"):
+            infer_symbols(sdfg, {"A": np.zeros(3), "B": np.zeros(4)})
+
+    def test_composite_dimension_mismatch(self):
+        from repro.runtime.executor import infer_symbols
+
+        sdfg = self._sdfg({"A": (N, N * 2)})
+        with pytest.raises(ExecutionError, match="evaluates to"):
+            infer_symbols(sdfg, {"A": np.zeros((3, 5))})
+
+    def test_composite_dimension_match(self):
+        from repro.runtime.executor import infer_symbols
+
+        sdfg = self._sdfg({"A": (N, N * 2)})
+        assert infer_symbols(sdfg, {"A": np.zeros((3, 6))}) == {"N": 3}
+
+    def test_rank_mismatch_surfaces_through_run_sdfg(self):
+        sdfg = self._sdfg({"A": (N,)})
+        with pytest.raises(ExecutionError, match="dimensions"):
+            run_sdfg(sdfg, A=np.zeros((2, 2)))

@@ -266,3 +266,66 @@ class TestDotExport:
             "red", {"i": "0:N"}, {"__v": Memlet("A", "i")}, "__out = __v",
             {"__out": Memlet("s", "0", wcr="sum")})
         assert "dashed" in sdfg_to_dot(sdfg)
+
+
+class TestMalformedSDFGs:
+    """Validation on deliberately corrupted graphs (resilience layer)."""
+
+    def test_missing_map_exit(self):
+        from repro.ir.nodes import make_map_scope
+
+        sdfg = SDFG("broken_scope")
+        state = sdfg.add_state()
+        entry, _exit = make_map_scope("m", ["i"], Range.from_string("0:4"))
+        state.add_node(entry)  # MapExit never added
+        with pytest.raises(InvalidSDFGError, match="MapExit"):
+            sdfg.validate()
+
+    def test_empty_tasklet_code(self):
+        sdfg = SDFG("empty_code")
+        state = sdfg.add_state()
+        state.add_node(Tasklet("t", set(), set(), ""))
+        with pytest.raises(InvalidSDFGError, match="empty code"):
+            sdfg.validate()
+
+    def test_interstate_unknown_symbol(self):
+        sdfg = SDFG("bad_edge")
+        first = sdfg.add_state("a")
+        second = sdfg.add_state("b")
+        sdfg.add_edge(first, second, InterstateEdge("mystery > 0"))
+        with pytest.raises(InvalidSDFGError, match="mystery"):
+            sdfg.validate()
+
+    def test_nested_connector_without_container(self):
+        from repro.ir.nodes import NestedSDFG
+
+        inner = SDFG("inner")
+        inner.add_array("x", (1,), repro.float64)
+        inner.add_state()
+        sdfg = SDFG("outer")
+        sdfg.add_array("A", (1,), repro.float64)
+        state = sdfg.add_state()
+        state.add_node(NestedSDFG("call", inner, {"ghost_conn"}, set()))
+        with pytest.raises(InvalidSDFGError, match="ghost_conn"):
+            sdfg.validate()
+
+    def test_collect_validation_errors_reports_all(self):
+        from repro.ir import collect_validation_errors
+
+        sdfg = SDFG("multi")
+        bad1 = sdfg.add_state("bad1")
+        bad1.add_node(AccessNode("ghost1"))
+        bad2 = sdfg.add_state("bad2")
+        bad2.add_node(AccessNode("ghost2"))
+        errors = collect_validation_errors(sdfg)
+        assert len(errors) == 2
+        messages = " ".join(str(e) for e in errors)
+        assert "ghost1" in messages and "ghost2" in messages
+        # validate_sdfg stops at the first of the same violations
+        with pytest.raises(InvalidSDFGError, match="ghost1"):
+            sdfg.validate()
+
+    def test_collect_validation_errors_clean_graph(self):
+        from repro.ir import collect_validation_errors
+
+        assert collect_validation_errors(simple_sdfg()) == []
