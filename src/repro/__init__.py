@@ -7,11 +7,13 @@ Public API mirrors the paper's ``dace`` module: the ``@program`` decorator,
 explicit-communication ``comm`` namespace for distributed programs.
 """
 
+from . import instrumentation
 from .config import Config
 from .dtypes import (bool_, complex64, complex128, float32, float64, int8,
                      int16, int32, int64, symbol, uint8, uint16, uint32,
                      uint64)
 from .frontend.decorator import DaceProgram, map_marker as map, program
+from .instrumentation import ProfileCollector, ProfileReport, profile
 from .ir import SDFG, InterstateEdge, Memlet, SDFGState
 from .resilience import FailureReport, ResilienceWarning
 from .symbolic import Range, Symbol
@@ -22,6 +24,7 @@ __all__ = [
     "program", "DaceProgram", "map", "symbol", "Config",
     "SDFG", "SDFGState", "Memlet", "InterstateEdge", "Range", "Symbol",
     "FailureReport", "ResilienceWarning",
+    "instrumentation", "profile", "ProfileCollector", "ProfileReport",
     "bool_", "int8", "int16", "int32", "int64",
     "uint8", "uint16", "uint32", "uint64",
     "float32", "float64", "complex64", "complex128",

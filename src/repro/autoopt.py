@@ -24,9 +24,11 @@ does not corrupt it.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Callable, Optional
 
+from . import instrumentation
 from .config import Config
 
 __all__ = ["auto_optimize"]
@@ -68,22 +70,29 @@ def auto_optimize(sdfg, device: str = "CPU", use_fast_library: bool = True,
     def step(name: str, thunk: Callable[[], None]) -> None:
         if not enabled.get(name, True):
             return
-        if not transactional:
-            thunk()
-            return
-        snapshot = SDFGSnapshot.capture(sdfg)
+        prof = instrumentation._ACTIVE
+        step_start = time.perf_counter() if prof is not None else 0.0
         try:
-            thunk()
-            if not Config.get("validate.after_transform"):
-                sdfg.validate()
-        except Exception as exc:
-            snapshot.restore(sdfg)
-            report.record("optimization", name, exc, "rolled-back",
-                          device=device)
-            warnings.warn(
-                f"auto_optimize step {name!r} failed "
-                f"({type(exc).__name__}: {exc}); rolled back and continuing",
-                ResilienceWarning, stacklevel=3)
+            if not transactional:
+                thunk()
+                return
+            snapshot = SDFGSnapshot.capture(sdfg)
+            try:
+                thunk()
+                if not Config.get("validate.after_transform"):
+                    sdfg.validate()
+            except Exception as exc:
+                snapshot.restore(sdfg)
+                report.record("optimization", name, exc, "rolled-back",
+                              device=device)
+                warnings.warn(
+                    f"auto_optimize step {name!r} failed "
+                    f"({type(exc).__name__}: {exc}); rolled back and continuing",
+                    ResilienceWarning, stacklevel=3)
+        finally:
+            if prof is not None:
+                prof.add("pass", f"autoopt.{name}",
+                         time.perf_counter() - step_start)
 
     def loop_to_map_to_fixed_point() -> None:
         cap = Config.get("resilience.max_pass_applications")

@@ -1,0 +1,10 @@
+"""Benchmark corpus (§3.4) and measurement harnesses.
+
+``repro.bench.registry`` holds the corpus; ``repro.bench.profile`` is the
+perf-trajectory harness (``python -m repro.bench.profile``) producing the
+``BENCH_cpu.json`` artifact.
+"""
+
+from . import registry
+
+__all__ = ["registry"]

@@ -1,0 +1,213 @@
+"""The perf-trajectory harness: corpus profiling and the ``BENCH_cpu.json``
+artifact.
+
+Runs every corpus benchmark (or a subset) at a chosen size class and
+measures three executions per benchmark:
+
+* ``numpy_s`` — the pure-NumPy reference (the Fig. 7 baseline),
+* ``interpreter_s`` — the reference SDFG interpreter,
+* ``compiled_s`` — the auto-optimized generated module,
+
+plus the compilation wall time decomposed per transformation pass via
+:mod:`repro.instrumentation` (the Fig. 6 analogue).  Per-benchmark speedup
+is ``numpy_s / compiled_s`` and the corpus summary is their geometric mean
+(the Fig. 7 summary line).
+
+Usage::
+
+    python -m repro.bench.profile --size test
+    python -m repro.bench.profile --size test --benchmarks gemm,atax,bicg
+
+The resulting ``BENCH_cpu.json`` (schema below) is the datapoint every PR's
+perf trajectory is judged against; CI uploads one per run.
+
+Schema (``repro-bench-cpu/1``)::
+
+    {
+      "schema": "repro-bench-cpu/1",
+      "created_utc": "...", "size": "...", "repetitions": N,
+      "benchmarks": {
+        "<name>": {"numpy_s": ..., "interpreter_s": ..., "compiled_s": ...,
+                    "speedup": ..., "interpreter_speedup": ...,
+                    "compile_s": ..., "passes": {"<pass>": seconds, ...}}
+      },
+      "failures": {"<name>": "<stage>: <error>"},
+      "geomean_speedup": ...,            # compiled vs numpy, corpus geomean
+      "geomean_interpreter_speedup": ...
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from .. import instrumentation
+from ..autoopt import auto_optimize
+from ..codegen import compile_sdfg
+from ..perf import geomean, measure
+from ..runtime.executor import run_sdfg
+from . import registry
+
+__all__ = ["profile_benchmark", "profile_corpus", "write_artifact", "main"]
+
+SCHEMA = "repro-bench-cpu/1"
+DEFAULT_OUTPUT = "BENCH_cpu.json"
+
+#: the CI subset: structurally diverse, fast at the test size class
+CI_SUBSET = ["gemm", "jacobi_1d", "atax", "bicg", "mvt"]
+
+
+def _sdfg_for(bench, size: str):
+    if bench.program._annotation_descs() is None:
+        return bench.program.to_sdfg(**bench.arguments(size)).clone()
+    return bench.program.to_sdfg().clone()
+
+
+def profile_benchmark(bench, size: str = "test", repetitions: int = 3,
+                      warmup: int = 1) -> Dict[str, object]:
+    """Measure one benchmark; returns its ``BENCH_cpu.json`` entry.
+
+    Raises on failure — the caller decides how to record it.
+    """
+    # --- compilation, instrumented: per-pass decomposition (Fig. 6) ------
+    with instrumentation.profile(bench.name) as coll:
+        start = time.perf_counter()
+        sdfg = _sdfg_for(bench, size)
+        opt = sdfg.clone()
+        auto_optimize(opt, device="CPU")
+        compiled = compile_sdfg(opt)
+        compile_s = time.perf_counter() - start
+    passes = {r.name: r.total_s
+              for r in coll.report().by_category("pass")}
+
+    def fresh():
+        return (), bench.arguments(size)
+
+    numpy_m = measure(bench.reference, repetitions=repetitions,
+                      warmup=warmup, setup=fresh)
+    compiled_m = measure(lambda **kw: compiled(**kw),
+                         repetitions=repetitions, warmup=warmup, setup=fresh)
+    # the interpreter is orders of magnitude slower: one timed run suffices
+    interp_m = measure(lambda **kw: run_sdfg(sdfg, **kw),
+                       repetitions=1, warmup=0, setup=fresh)
+
+    entry: Dict[str, object] = {
+        "numpy_s": numpy_m.median,
+        "interpreter_s": interp_m.median,
+        "compiled_s": compiled_m.median,
+        "speedup": (numpy_m.median / compiled_m.median
+                    if compiled_m.median > 0 else 0.0),
+        "interpreter_speedup": (numpy_m.median / interp_m.median
+                                if interp_m.median > 0 else 0.0),
+        "compile_s": compile_s,
+        "passes": passes,
+    }
+    return entry
+
+
+def profile_corpus(size: str = "test", names: Optional[List[str]] = None,
+                   repetitions: int = 3, warmup: int = 1,
+                   verbose: bool = True) -> Dict[str, object]:
+    """Profile the corpus (or *names*); returns the artifact dictionary."""
+    if names:
+        benches = [registry.get(name) for name in names]
+    else:
+        benches = registry.all_benchmarks()
+
+    benchmarks: Dict[str, Dict[str, object]] = {}
+    failures: Dict[str, str] = {}
+    for bench in benches:
+        try:
+            entry = profile_benchmark(bench, size=size,
+                                      repetitions=repetitions, warmup=warmup)
+        except Exception as exc:
+            failures[bench.name] = f"{type(exc).__name__}: {exc}"
+            if verbose:
+                print(f"  {bench.name:<20} FAILED "
+                      f"({failures[bench.name][:90]})", file=sys.stderr)
+            continue
+        benchmarks[bench.name] = entry
+        if verbose:
+            print(f"  {bench.name:<20} numpy {entry['numpy_s'] * 1e3:9.3f} ms"
+                  f"  compiled {entry['compiled_s'] * 1e3:9.3f} ms"
+                  f"  ({entry['speedup']:6.2f}x)")
+
+    speedups = [e["speedup"] for e in benchmarks.values()]
+    interp_speedups = [e["interpreter_speedup"] for e in benchmarks.values()]
+    return {
+        "schema": SCHEMA,
+        "created_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "size": size,
+        "repetitions": repetitions,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benchmarks": benchmarks,
+        "failures": failures,
+        "geomean_speedup": geomean(speedups),
+        "geomean_interpreter_speedup": geomean(interp_speedups),
+    }
+
+
+def write_artifact(result: Dict[str, object],
+                   path: str = DEFAULT_OUTPUT) -> str:
+    with open(path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.profile",
+        description="Profile the corpus (interpreter vs. compiled vs. NumPy)"
+                    " and write the BENCH_cpu.json perf artifact.")
+    parser.add_argument("--size", default="test",
+                        choices=["test", "small", "large"],
+                        help="size class (default: test)")
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated subset (default: full corpus); "
+                             "'ci' selects the fast CI subset")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"artifact path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="timed repetitions for numpy/compiled "
+                             "(default: 3)")
+    parser.add_argument("--list", action="store_true",
+                        help="list corpus benchmark names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in registry.names():
+            print(name)
+        return 0
+
+    names: Optional[List[str]] = None
+    if args.benchmarks == "ci":
+        names = list(CI_SUBSET)
+    elif args.benchmarks:
+        names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+
+    print(f"profiling {len(names) if names else 'all'} benchmark(s) "
+          f"at size class {args.size!r}...")
+    result = profile_corpus(size=args.size, names=names,
+                            repetitions=args.repetitions)
+    path = write_artifact(result, args.output)
+    ok = len(result["benchmarks"])
+    failed = len(result["failures"])
+    print(f"\n{ok} benchmark(s) measured, {failed} failed")
+    print(f"geomean speedup over NumPy: compiled "
+          f"{result['geomean_speedup']:.3f}x, interpreter "
+          f"{result['geomean_interpreter_speedup']:.3f}x")
+    print(f"wrote {path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

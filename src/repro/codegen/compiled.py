@@ -11,23 +11,33 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
+from .. import instrumentation
 from ..runtime.executor import collect_return, prepare_arguments
 
 __all__ = ["CompiledSDFG", "compile_sdfg"]
 
 
 class CompiledSDFG:
-    """An executable, specialized program generated from an SDFG."""
+    """An executable, specialized program generated from an SDFG.
 
-    def __init__(self, sdfg, device: str = "CPU"):
+    With ``instrument=True`` the generated module carries per-state and
+    per-map timing hooks (reporting to :mod:`repro.instrumentation`); the
+    default emits the unchanged hook-free module.
+    """
+
+    def __init__(self, sdfg, device: str = "CPU", instrument: bool = False):
         from .pygen import generate_module
 
         self.sdfg = sdfg
         self.device = device
+        self.instrumented = instrument
         start = time.perf_counter()
         sdfg.validate()
-        self._run, self.source = generate_module(sdfg)
+        self._run, self.source = generate_module(sdfg, instrument=instrument)
         self.codegen_seconds = time.perf_counter() - start
+        coll = instrumentation._ACTIVE
+        if coll is not None:
+            coll.add("phase", "codegen", self.codegen_seconds)
         #: state-index -> visit count from the most recent execution
         #: (consumed by the device performance models)
         self.last_state_visits: Dict[int, int] = {}
@@ -49,6 +59,7 @@ class CompiledSDFG:
         return f"CompiledSDFG({self.sdfg.name!r}, device={self.device})"
 
 
-def compile_sdfg(sdfg, device: str = "CPU") -> CompiledSDFG:
+def compile_sdfg(sdfg, device: str = "CPU",
+                 instrument: bool = False) -> CompiledSDFG:
     """Compile an SDFG into an executable specialized module."""
-    return CompiledSDFG(sdfg, device=device)
+    return CompiledSDFG(sdfg, device=device, instrument=instrument)

@@ -29,7 +29,8 @@ from ..ir.nodes import (
     Tasklet,
 )
 from ..symbolic import Expr, Integer, Range, definitely_eq
-from .support import align_axes, dim_length, make_slice, store_aligned, wcr_store
+from .support import (Max, Min, align_axes, dim_length, make_slice,
+                      store_aligned, wcr_store)
 
 __all__ = ["generate_module", "affine_decompose"]
 
@@ -175,8 +176,9 @@ class _ScalarRewrite(ast.NodeTransformer):
 # ---------------------------------------------------------------------------
 
 class _Generator:
-    def __init__(self, sdfg):
+    def __init__(self, sdfg, instrument: bool = False):
         self.sdfg = sdfg
+        self.instrument = instrument
         self.lines: List[str] = []
         self.closures: Dict[str, object] = {}
         self._uid = 0
@@ -321,6 +323,20 @@ class _Generator:
 
     # ------------------------------------------------------------ map scopes
     def emit_scope(self, state, entry: MapEntry) -> None:
+        if self.instrument:
+            # only the vectorized path gets a generated timer: the fallback
+            # path runs through the interpreter, whose own map hook records
+            # the scope (avoiding a double count)
+            uid = self.uid()
+            name = entry.map.label or ",".join(entry.map.params)
+            self.emit(f"__mt{uid} = __prof_now()")
+            if self._try_vector_scope(state, entry):
+                self.emit(f"__prof_add('map', {name!r}, "
+                          f"__prof_now() - __mt{uid})")
+            else:
+                self.lines.pop()  # drop the unused timer start
+                self.node_fallback(state, entry)
+            return
         if not self._try_vector_scope(state, entry):
             self.node_fallback(state, entry)
 
@@ -677,13 +693,17 @@ def _build_scope_order(state):
 # Module assembly
 # ---------------------------------------------------------------------------
 
-def generate_module(sdfg) -> Tuple[object, str]:
+def generate_module(sdfg, instrument: bool = False) -> Tuple[object, str]:
     """Generate the specialized module for an SDFG.
 
     Returns ``(run_callable, source)``: the callable takes
     ``(containers, symbols)`` and executes the program.
+
+    With ``instrument=True`` the module carries per-state and per-map-scope
+    timing hooks that report to :mod:`repro.instrumentation`; without it the
+    generated source is hook-free (the zero-overhead-when-off guarantee).
     """
-    gen = _Generator(sdfg)
+    gen = _Generator(sdfg, instrument=instrument)
     states = sdfg.topological_states()
     index = {s: i for i, s in enumerate(states)}
 
@@ -705,7 +725,9 @@ def generate_module(sdfg) -> Tuple[object, str]:
     for name, desc in sdfg.arrays.items():
         if not desc.transient:
             lines.append(f"    {name} = __c[{name!r}]")
-    for sym in sorted(sdfg.symbols):
+    # registered symbols plus free ones that only appear in map ranges or
+    # memlet subsets (never registered through a shape)
+    for sym in sorted(set(sdfg.symbols) | set(sdfg.free_symbols)):
         lines.append(f"    if {sym!r} in __s: {sym} = __s[{sym!r}]")
     for name, value in sdfg.constants.items():
         lines.append(f"    {name} = __const[{name!r}]")
@@ -717,6 +739,8 @@ def generate_module(sdfg) -> Tuple[object, str]:
         si = index[state]
         lines.append(f"        if __state == {si}:  # {state.label}")
         gen._indent = 3
+        if instrument:
+            gen.emit(f"__st{si} = __prof_now()")
         start = len(lines)
         for name in sorted(_containers_in_state(state) & dynamic_transients):
             shape = ", ".join(f"({s})" for s in sdfg.arrays[name].shape)
@@ -725,6 +749,9 @@ def generate_module(sdfg) -> Tuple[object, str]:
         gen.emit_state(state)
         if len(lines) == start:
             lines.append("            pass")
+        if instrument:
+            gen.emit(f"__prof_add('state', {state.label!r}, "
+                     f"__prof_now() - __st{si})")
         # transitions (scalar containers are dereferenced to their value)
         out = sdfg.out_edges(state)
         out.sort(key=lambda e: e.data.is_unconditional())
@@ -756,13 +783,26 @@ def generate_module(sdfg) -> Tuple[object, str]:
         "dim_length": dim_length,
         "store_aligned": store_aligned,
         "wcr_store": wcr_store,
-        "Min": lambda *a: min(a),
-        "Max": lambda *a: max(a),
+        "Min": Min,
+        "Max": Max,
         "__const": dict(sdfg.constants),
         "abs": abs, "min": min, "max": max, "int": int, "float": float,
         "bool": bool, "len": len, "range": range, "slice": slice,
     }
     namespace.update(gen.closures)
+
+    if instrument:
+        import time as _time
+
+        from .. import instrumentation as _instr
+
+        def _prof_add(category, name, seconds):
+            coll = _instr._ACTIVE
+            if coll is not None:
+                coll.add(category, name, seconds)
+
+        namespace["__prof_now"] = _time.perf_counter
+        namespace["__prof_add"] = _prof_add
 
     namespace["__alloc"] = lambda name, symbols: allocate_container(
         sdfg.arrays[name], symbols)

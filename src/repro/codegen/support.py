@@ -16,22 +16,52 @@ __all__ = ["make_slice", "align_axes", "dim_length", "Min", "Max", "reduce_ufunc
 
 
 def Min(*args):
-    return min(args)
+    """Elementwise minimum, scalar-safe.
+
+    Symbolic ``Min``/``Max`` atoms print into generated code; when a
+    vectorized scope evaluates them the arguments may be NumPy views, where
+    Python's ``min`` raises "truth value of an array is ambiguous".  A
+    ``np.minimum`` reduction handles both scalars and arrays.
+    """
+    result = args[0]
+    for arg in args[1:]:
+        result = np.minimum(result, arg)
+    return result
 
 
 def Max(*args):
-    return max(args)
+    """Elementwise maximum, scalar-safe (see :func:`Min`)."""
+    result = args[0]
+    for arg in args[1:]:
+        result = np.maximum(result, arg)
+    return result
 
 
 def make_slice(a: int, c: int, lo: int, hi: int, st: int) -> slice:
     """Slice for the affine index ``a*p + c`` as ``p`` ranges over
-    ``lo..hi`` (inclusive) with step ``st``."""
+    ``lo..hi`` (inclusive) with step ``st``.
+
+    Indices are domain coordinates (nonnegative); an inclusive range whose
+    end lies before its start — e.g. a triangular map dimension ``0:i`` at
+    ``i == 0``, which arrives here as ``lo=0, hi=-1`` — is *empty*.  The
+    inclusive→exclusive stop conversion must not let a boundary cross zero,
+    where NumPy reinterprets it as a from-the-end index:
+
+    * empty range: return an explicitly empty slice — naively converting
+      ``hi=-2`` gives ``slice(0, -1)``, which selects almost everything;
+    * descending to index 0: the exclusive stop of inclusive 0 is ``-1``,
+      which wraps to the array's end — use ``None``.
+    """
     start = a * lo + c
     stop = a * hi + c
     step = a * st
     if step > 0:
+        if stop < start:
+            return slice(0, 0, 1)
         return slice(start, stop + 1, step)
-    return slice(start, stop - 1 if stop > 0 else None, step)
+    if stop > start:
+        return slice(0, 0, 1)
+    return slice(start, None if stop == 0 else stop - 1, step)
 
 
 def dim_length(lo: int, hi: int, st: int) -> int:

@@ -16,6 +16,8 @@ _DEFAULTS: Dict[str, Any] = {
     "optimizer.autooptimize": False,         # run -O3 heuristics by default
     "optimizer.tile_size": 64,               # WCR map tile size (paper §3.1 (3))
     "optimizer.stack_array_limit": 64,       # elements; below -> "stack" storage
+    # Instrumentation (see repro.instrumentation)
+    "instrument.mode": "off",                # "off" | "timers"
     # Validation
     "validate.after_transform": True,
     "validate.before_execute": True,         # run ir.validation before run_sdfg

@@ -47,7 +47,8 @@ class DaceProgram:
 
     def __init__(self, func: Callable, auto_optimize: bool = False,
                  device: str = "CPU", fallback: Optional[bool] = None,
-                 backend: str = "codegen"):
+                 backend: str = "codegen",
+                 instrument: Optional[str] = None):
         functools.update_wrapper(self, func)
         self.func = func
         self.name = func.__name__
@@ -55,6 +56,13 @@ class DaceProgram:
         self.device = device
         self.fallback = fallback
         self.backend = backend
+        #: per-program instrumentation mode; None defers to the
+        #: ``instrument.mode`` configuration key
+        self.instrument = instrument
+        #: ProfileReport of the most recent instrumented call
+        self.last_profile = None
+        #: degradation-chain attempts of the most recent degrade-mode call
+        self.last_attempts: list = []
         self._sdfg_cache: Dict[Tuple, SDFG] = {}
         self._compiled_cache: Dict[Tuple, Any] = {}
         #: absorbed failures (rollbacks, degradations) across all calls
@@ -165,20 +173,37 @@ class DaceProgram:
             return self._sdfg_cache[key]
 
     # ---------------------------------------------------------------- execution
-    def compile(self, *args, device: Optional[str] = None, **kwargs):
-        """Ahead-of-time compile; returns a CompiledSDFG."""
+    def compile(self, *args, device: Optional[str] = None,
+                instrument: bool = False, **kwargs):
+        """Ahead-of-time compile; returns a CompiledSDFG.
+
+        ``instrument=True`` compiles a module with timing hooks (cached
+        separately from the plain module).  When a profile collector is
+        active, the compile phases (parse, autoopt, codegen) report their
+        wall time to it — the Fig. 6 decomposition.
+        """
+        from .. import instrumentation
         from ..codegen import compile_sdfg
 
         device = device or self.device
-        sdfg = self.to_sdfg(*args, **kwargs)
+        coll = instrumentation.current()
+        if coll is not None:
+            with coll.region("phase", "parse"):
+                sdfg = self.to_sdfg(*args, **kwargs)
+        else:
+            sdfg = self.to_sdfg(*args, **kwargs)
         key = (self._desc_key(self.to_sdfg_descs(args, kwargs)), device,
-               self.auto_optimize)
+               self.auto_optimize, instrument)
         if key in self._compiled_cache:
             return self._compiled_cache[key]
         if self.auto_optimize:
             sdfg = sdfg.clone()
-            sdfg.auto_optimize(device=device)
-        compiled = compile_sdfg(sdfg, device=device)
+            if coll is not None:
+                with coll.region("phase", "autoopt"):
+                    sdfg.auto_optimize(device=device)
+            else:
+                sdfg.auto_optimize(device=device)
+        compiled = compile_sdfg(sdfg, device=device, instrument=instrument)
         self._compiled_cache[key] = compiled
         return compiled
 
@@ -197,7 +222,17 @@ class DaceProgram:
                 call_kwargs[name] = value
         return call_kwargs
 
+    def _instrument_mode(self) -> str:
+        mode = self.instrument
+        if mode is None:
+            mode = Config.get("instrument.mode")
+        if mode in (None, False, "off", ""):
+            return "off"
+        return "timers" if mode is True else str(mode)
+
     def __call__(self, *args, **kwargs):
+        if self._instrument_mode() != "off":
+            return self._call_instrumented(args, kwargs)
         if Config.get("resilience.mode") == "degrade":
             return self._call_degrading(args, kwargs)
         fallback = self.fallback
@@ -212,6 +247,48 @@ class DaceProgram:
             raise
         return compiled(**self._bind_call_kwargs(args, kwargs))
 
+    def _call_instrumented(self, args, kwargs):
+        """Instrumented execution: compile phases, per-region timers, and
+        (in degrade mode) attempt records all land in a profile collector.
+
+        If a collector is already active (an enclosing
+        :func:`repro.instrumentation.profile` block), events aggregate into
+        it; otherwise a fresh collector is created and its report stored on
+        ``self.last_profile``.
+        """
+        import contextlib
+
+        from .. import instrumentation
+
+        mode = self._instrument_mode()
+        outer = instrumentation.current()
+        ctx = (contextlib.nullcontext(outer) if outer is not None
+               else instrumentation.profile(self.name, mode=mode))
+        with ctx as coll:
+            if Config.get("resilience.mode") == "degrade":
+                result = self._call_degrading(args, kwargs)
+            else:
+                result = self._run_instrumented(args, kwargs, coll)
+        if outer is None:
+            self.last_profile = coll.report(device=self.device)
+        return result
+
+    def _run_instrumented(self, args, kwargs, coll):
+        fallback = self.fallback
+        try:
+            with coll.region("phase", "compile"):
+                compiled = self.compile(*args, instrument=True, **kwargs)
+        except UnsupportedFeature as exc:
+            if fallback:
+                warnings.warn(
+                    f"{self.name}: falling back to the Python interpreter "
+                    f"({exc})", RuntimeWarning, stacklevel=3)
+                with coll.region("phase", "execute"):
+                    return self.func(*args, **kwargs)
+            raise
+        with coll.region("phase", "execute"):
+            return compiled(**self._bind_call_kwargs(args, kwargs))
+
     def _call_degrading(self, args, kwargs):
         """Graceful-degradation execution (``resilience.mode = "degrade"``).
 
@@ -220,8 +297,20 @@ class DaceProgram:
         modified in place by the first two stages, so their input contents
         are checkpointed and restored between attempts — a stage that dies
         halfway through must not poison the next stage's inputs.
+
+        Every attempt is timed: ``self.last_attempts`` lists which tiers
+        ran and for how long, failed tiers are recorded in
+        ``self.failure_report`` with their duration, and an active profile
+        collector receives the same attempt records.
         """
+        import time
+
+        from .. import instrumentation
         from ..resilience import ResilienceWarning
+
+        coll = instrumentation.current()
+        attempts: list = []
+        self.last_attempts = attempts
 
         checkpoints = [(value, np.copy(value)) for value in
                        list(args) + list(kwargs.values())
@@ -231,31 +320,55 @@ class DaceProgram:
             for live, saved in checkpoints:
                 np.copyto(live, saved)
 
-        def degrade(stage: str, fallback: str, exc: BaseException) -> None:
+        def note(stage: str, ok: bool, seconds: float,
+                 exc: Optional[BaseException] = None) -> None:
+            error = f"{type(exc).__name__}: {exc}" if exc is not None else ""
+            attempts.append({"stage": stage, "ok": ok, "seconds": seconds,
+                             "error": error})
+            if coll is not None:
+                coll.attempt(stage, ok, seconds, error)
+
+        def degrade(stage: str, fallback: str, exc: BaseException,
+                    seconds: float) -> None:
+            note(stage, False, seconds, exc)
             self.failure_report.record(
                 "degradation", self.name, exc, f"fell-back:{fallback}",
-                stage=stage)
+                stage=stage, seconds=seconds)
             warnings.warn(
                 f"{self.name}: {stage} execution failed "
                 f"({type(exc).__name__}: {exc}); degrading to {fallback}",
                 ResilienceWarning, stacklevel=3)
             restore_inputs()
 
+        start = time.perf_counter()
         try:
-            compiled = self.compile(*args, **kwargs)
-            return compiled(**self._bind_call_kwargs(args, kwargs))
+            compiled = self.compile(*args, instrument=coll is not None,
+                                    **kwargs)
+            result = compiled(**self._bind_call_kwargs(args, kwargs))
         except Exception as exc:
-            degrade("compiled", "interpreter", exc)
+            degrade("compiled", "interpreter", exc,
+                    time.perf_counter() - start)
+        else:
+            note("compiled", True, time.perf_counter() - start)
+            return result
 
+        start = time.perf_counter()
         try:
             from ..runtime.executor import run_sdfg
 
             sdfg = self.to_sdfg(*args, **kwargs)
-            return run_sdfg(sdfg, **self._bind_call_kwargs(args, kwargs))
+            result = run_sdfg(sdfg, **self._bind_call_kwargs(args, kwargs))
         except Exception as exc:
-            degrade("interpreter", "python", exc)
+            degrade("interpreter", "python", exc,
+                    time.perf_counter() - start)
+        else:
+            note("interpreter", True, time.perf_counter() - start)
+            return result
 
-        return self.func(*args, **kwargs)
+        start = time.perf_counter()
+        result = self.func(*args, **kwargs)
+        note("python", True, time.perf_counter() - start)
+        return result
 
     def __repr__(self) -> str:
         return f"DaceProgram({self.name})"
@@ -283,17 +396,21 @@ def _value_to_desc(value) -> Data:
 
 def program(func: Optional[Callable] = None, *, auto_optimize: bool = False,
             device: str = "CPU", fallback: Optional[bool] = None,
-            backend: str = "codegen"):
+            backend: str = "codegen", instrument: Optional[str] = None):
     """Decorator marking a function as a data-centric program.
 
     Usable bare (``@repro.program``) or with options
     (``@repro.program(auto_optimize=True, device="GPU")``).
+    ``instrument="timers"`` forces profiling for this program;
+    ``instrument=None`` (default) defers to the ``instrument.mode``
+    configuration key.
     """
     if func is not None:
         return DaceProgram(func)
 
     def wrapper(f: Callable) -> DaceProgram:
         return DaceProgram(f, auto_optimize=auto_optimize, device=device,
-                           fallback=fallback, backend=backend)
+                           fallback=fallback, backend=backend,
+                           instrument=instrument)
 
     return wrapper

@@ -67,6 +67,19 @@ class FailureRecord:
         return (f"FailureRecord({self.kind}:{self.subject} -> {self.action}; "
                 f"{type(self.error).__name__}: {self.error}{extra})")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (errors and details become strings)."""
+        detail = {k: (v if isinstance(v, (int, float, bool, str, type(None)))
+                      else str(v))
+                  for k, v in self.detail.items()}
+        return {
+            "kind": self.kind,
+            "subject": self.subject,
+            "error": f"{type(self.error).__name__}: {self.error}",
+            "action": self.action,
+            "detail": detail,
+        }
+
 
 class FailureReport:
     """Structured collection of absorbed failures for one pipeline/program."""
@@ -93,6 +106,9 @@ class FailureReport:
 
     def clear(self) -> None:
         self.records.clear()
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        return [rec.to_dict() for rec in self.records]
 
     def summary(self) -> str:
         if not self.records:

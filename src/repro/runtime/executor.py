@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from .. import instrumentation
 from ..config import Config
 from ..ir.data import Array, Scalar, Stream, View
 from ..ir.memlet import Memlet
@@ -66,11 +67,13 @@ def allocate_container(desc, env: Dict[str, int]):
 
 
 def infer_symbols(sdfg, containers: Dict[str, Any]) -> Dict[str, int]:
-    """Deduce free-symbol values from actual argument shapes.
+    """Deduce free-symbol values from actual argument shapes and from
+    integer scalar arguments that share a free symbol's name.
 
     Pure-symbol dimensions bind directly; composite dimensions are verified
     afterwards (mismatch is an error, matching the paper's static symbolic
-    typing).
+    typing).  A shape-derived binding and a scalar-argument binding for the
+    same symbol must agree.
     """
     env: Dict[str, int] = {}
     for name, desc in sdfg.arrays.items():
@@ -90,6 +93,23 @@ def infer_symbols(sdfg, containers: Dict[str, Any]) -> Dict[str, int]:
                         f"inconsistent value for symbol {sym_dim.name}: "
                         f"{env[sym_dim.name]} vs {actual} (argument {name!r})")
                 env[sym_dim.name] = int(actual)
+    # a free symbol supplied explicitly as an integer scalar argument binds
+    # too (shape-less programs have no other source); shape-derived values
+    # win conflicts only by raising, never silently
+    free = set(sdfg.free_symbols) | set(getattr(sdfg, "symbols", ()))
+    for name, desc in sdfg.arrays.items():
+        if not isinstance(desc, Scalar) or name not in containers \
+                or name not in free:
+            continue
+        value = np.asarray(containers[name]).reshape(-1)[0]
+        if not isinstance(value, (int, np.integer)):
+            continue
+        value = int(value)
+        if name in env and env[name] != value:
+            raise ExecutionError(
+                f"inconsistent value for symbol {name}: shape-derived "
+                f"{env[name]} vs scalar argument {value}")
+        env[name] = value
     # verify composite dimensions now that symbols are bound
     for name, desc in sdfg.arrays.items():
         if name not in containers or isinstance(desc, (Scalar, Stream)):
@@ -209,6 +229,16 @@ def _execute_tasklet(ctx: _Context, state: SDFGState, node: Tasklet,
 
 def _execute_library(ctx: _Context, state: SDFGState, node: LibraryNode,
                      env: Dict[str, Any]) -> None:
+    prof = instrumentation._ACTIVE
+    if prof is not None:
+        with prof.region("library", node.label or type(node).__name__):
+            _execute_library_body(ctx, state, node, env)
+        return
+    _execute_library_body(ctx, state, node, env)
+
+
+def _execute_library_body(ctx: _Context, state: SDFGState, node: LibraryNode,
+                          env: Dict[str, Any]) -> None:
     inputs: Dict[str, Any] = {}
     for edge in state.in_edges(node):
         if edge.memlet.is_empty() or edge.dst_conn is None:
@@ -306,6 +336,19 @@ def _conform(view: np.ndarray, inner_desc, env, node) -> np.ndarray:
 def _execute_scope(ctx: _Context, state: SDFGState, entry: MapEntry,
                    env: Dict[str, Any],
                    scope_order: Dict[Optional[MapEntry], List[Node]]) -> None:
+    prof = instrumentation._ACTIVE
+    if prof is not None:
+        name = entry.map.label or ",".join(entry.map.params)
+        with prof.region("map", name):
+            _execute_scope_body(ctx, state, entry, env, scope_order)
+        return
+    _execute_scope_body(ctx, state, entry, env, scope_order)
+
+
+def _execute_scope_body(ctx: _Context, state: SDFGState, entry: MapEntry,
+                        env: Dict[str, Any],
+                        scope_order: Dict[Optional[MapEntry], List[Node]]
+                        ) -> None:
     rng = entry.map.range
     iteration = []
     for begin, end, step in rng.dims:
@@ -391,6 +434,15 @@ def _copy_edge(ctx: _Context, edge, env: Dict[str, Any]) -> None:
 
 
 def execute_state(ctx: _Context, state: SDFGState) -> None:
+    prof = instrumentation._ACTIVE
+    if prof is not None:
+        with prof.region("state", state.label):
+            _execute_state_body(ctx, state)
+        return
+    _execute_state_body(ctx, state)
+
+
+def _execute_state_body(ctx: _Context, state: SDFGState) -> None:
     scope = state.scope_dict()
     order: Dict[Optional[MapEntry], List[Node]] = {}
     for node in state.topological_nodes():

@@ -242,13 +242,25 @@ class Range:
         return Range(keep)
 
     def to_slices(self, env: Optional[Mapping[str, int]] = None) -> Tuple[slice, ...]:
-        """Concrete NumPy slices for this subset (requires all symbols bound)."""
+        """Concrete NumPy slices for this subset (requires all symbols bound).
+
+        Bounds are inclusive domain coordinates: an end before the begin
+        (``0:i`` at ``i == 0`` stores end ``-1``) is an *empty* range, and
+        the exclusive stop must not cross zero into NumPy's from-the-end
+        territory — ascending ``e+1`` for ``e <= -2`` and descending
+        ``e-1`` for ``e == 0`` would both silently select wrong elements.
+        """
         out = []
         for begin, end, step in self.dims:
             b = begin.evaluate(env)
             e = end.evaluate(env)
             s = step.evaluate(env)
-            out.append(slice(b, e + 1, s))
+            if s > 0:
+                out.append(slice(b, e + 1, s) if e >= b else slice(0, 0, 1))
+            elif e > b:
+                out.append(slice(0, 0, 1))
+            else:
+                out.append(slice(b, None if e == 0 else e - 1, s))
         return tuple(out)
 
     # -- protocol ------------------------------------------------------------

@@ -15,9 +15,11 @@ instead of corrupting the graph or looping forever.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Optional
 
+from .. import instrumentation
 from ..config import Config
 from .base import Transformation
 from .dataflow.cleanup import (
@@ -84,6 +86,8 @@ def simplify_pass(sdfg, report=None) -> int:
             if quarantine.is_quarantined(name):
                 continue
             remaining = max(0, cap - total)
+            prof = instrumentation._ACTIVE
+            pass_start = time.perf_counter() if prof is not None else 0.0
             if transactional:
                 applied = transactional_apply(
                     sdfg, transformation, report=report,
@@ -91,6 +95,8 @@ def simplify_pass(sdfg, report=None) -> int:
             else:
                 applied = transformation.apply_repeated(
                     sdfg, max_applications=remaining)
+            if prof is not None:
+                prof.add("pass", name, time.perf_counter() - pass_start)
             if applied:
                 total += applied
                 changed = True

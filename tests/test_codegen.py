@@ -61,6 +61,52 @@ class TestSupportHelpers:
         sl = make_slice(-1, 9, 0, 9, 1)
         assert np.allclose(arr[sl], arr[::-1])
 
+    def test_make_slice_empty_range_not_wrapped(self):
+        # a triangular map dimension 0:i at i == 0 arrives as lo=0, hi=-1:
+        # the range is empty.  Naive stop conversion gives slice(0, 0)
+        # here, but one element earlier (hi=-2) it gives slice(0, -1) —
+        # NumPy reads that from the end and selects almost everything
+        arr = np.arange(10)
+        for hi in (-1, -2, -3):
+            assert arr[make_slice(1, 0, 0, hi, 1)].size == 0
+        # same with a coefficient and an offset
+        assert arr[make_slice(2, 1, 3, 1, 1)].size == 0
+
+    def test_make_slice_descending_to_front(self):
+        # descending to index 0: exclusive stop of inclusive 0 is None,
+        # not -1 (which NumPy wraps to the last element)
+        arr = np.arange(10)
+        sl = make_slice(-1, 4, 0, 4, 1)
+        assert np.allclose(arr[sl], [4, 3, 2, 1, 0])
+        # descending empty range
+        assert arr[make_slice(-1, 5, 0, -1, 1)].size == 0
+
+    def test_make_slice_matches_gather_brute_force(self):
+        # make_slice(a, c, lo, hi, st) must select exactly
+        # [a*p + c for p in range(lo, hi+1, st)] — including empty ranges
+        # (hi < lo) — whenever the indices are valid domain coordinates
+        arr = np.arange(12)
+        cases = [(a, c, lo, hi, st)
+                 for a in (-2, -1, 1, 2)
+                 for c in range(0, 9)
+                 for (lo, hi, st) in [(0, 3, 1), (0, 4, 2), (1, 5, 2),
+                                      (0, -1, 1), (0, -2, 1), (2, 0, 1)]]
+        for a, c, lo, hi, st in cases:
+            idx = [a * p + c for p in range(lo, hi + 1, st)]
+            if not all(0 <= i < len(arr) for i in idx):
+                continue
+            got = arr[make_slice(a, c, lo, hi, st)]
+            assert np.allclose(got, arr[idx]), (a, c, lo, hi, st)
+
+    def test_min_max_array_safe(self):
+        from repro.codegen.support import Max, Min
+
+        v = np.arange(4.0)
+        assert np.allclose(Min(v, 2.0), np.minimum(v, 2.0))
+        assert np.allclose(Max(v, v[::-1], 1.5),
+                           np.maximum(np.maximum(v, v[::-1]), 1.5))
+        assert Min(3, 5) == 3 and Max(3, 5) == 5
+
     def test_dim_length(self):
         assert dim_length(0, 9, 1) == 10
         assert dim_length(2, 9, 3) == 3
@@ -139,6 +185,69 @@ class TestGeneratedVsInterpreter:
                 B[i] = i * 2.0
 
         self.compare(prog, B=np.zeros(6))
+
+    def test_vectorized_min_max_tasklet(self):
+        """min/max over array operands inside a vectorized map scope."""
+        @repro.program
+        def prog(A: repro.float64[N], B: repro.float64[N],
+                 lo: repro.float64[N], hi: repro.float64[N]):
+            for i in repro.map[0:N]:
+                lo[i] = min(A[i], B[i], 0.5)
+                hi[i] = max(A[i], B[i], 0.5)
+
+        rng = np.random.default_rng(2)
+        A, B = rng.random(12), rng.random(12)
+        lo, hi = np.zeros(12), np.zeros(12)
+        sdfg = prog.to_sdfg()
+        compiled = compile_sdfg(sdfg)
+        compiled(A=A, B=B, lo=lo, hi=hi)
+        assert np.allclose(lo, np.minimum(np.minimum(A, B), 0.5))
+        assert np.allclose(hi, np.maximum(np.maximum(A, B), 0.5))
+        self.compare(prog, A=A, B=B, lo=np.zeros(12), hi=np.zeros(12))
+
+    def test_reversal_descends_to_index_zero(self):
+        """B[i] = A[N-1-i]: the vectorized read walks N-1 down to 0, so
+        make_slice's exclusive stop crosses zero and must become None —
+        a stop of -1 wraps to the last element and drops A[0]."""
+        from repro.ir import SDFG, Memlet
+
+        sdfg = SDFG("reversal")
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_array("B", (N,), repro.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet("rev", {"i": "0:N"},
+                                 {"__a": Memlet("A", "N - 1 - i")},
+                                 "__out = __a",
+                                 {"__out": Memlet("B", "i")})
+        A = np.arange(6, dtype=np.float64)
+        B_gen, B_int = np.zeros(6), np.zeros(6)
+        compile_sdfg(sdfg)(A=A, B=B_gen)
+        run_sdfg(sdfg, A=A, B=B_int)
+        assert np.allclose(B_gen, A[::-1])
+        assert np.allclose(B_int, A[::-1])
+
+    def test_empty_triangular_map_dimension(self):
+        """An inner map 0:K with K == 0 must execute zero iterations in the
+        generated module, not a wrapped nearly-full slice."""
+        from repro.ir import SDFG, Memlet
+
+        K = repro.symbol("K")
+        sdfg = SDFG("triangle")
+        sdfg.add_array("A", (N,), repro.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet("m", {"i": "0:K"},
+                                 {"__a": Memlet("A", "i")},
+                                 "__out = __a + 1.0",
+                                 {"__out": Memlet("A", "i")})
+        A = np.arange(5, dtype=np.float64)
+        expect = A.copy()
+        compile_sdfg(sdfg)(A=A, K=0)
+        assert np.allclose(A, expect)
+        run_sdfg(sdfg, A=A, K=0)
+        assert np.allclose(A, expect)
+        compile_sdfg(sdfg)(A=A, K=3)
+        expect[:3] += 1
+        assert np.allclose(A, expect)
 
     def test_dynamic_indirection(self):
         @repro.program

@@ -264,3 +264,62 @@ class TestInferSymbolErrors:
         sdfg = self._sdfg({"A": (N,)})
         with pytest.raises(ExecutionError, match="dimensions"):
             run_sdfg(sdfg, A=np.zeros((2, 2)))
+
+
+class TestScalarSymbolBinding:
+    """Free symbols supplied as integer scalar arguments must bind
+    (shape-less programs have no shape to infer them from)."""
+
+    def _shapeless(self):
+        sdfg = SDFG("shapeless")
+        sdfg.add_scalar("N", repro.int32)
+        sdfg.add_array("T", (N,), repro.float64, transient=True)
+        sdfg.add_array("out", (1,), repro.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet("fill", {"i": "0:N"},
+                                 {}, "__out = 1.0 * i",
+                                 {"__out": Memlet("T", "i")})
+        state2 = sdfg.add_state_after(state)
+        state2.add_mapped_tasklet("sum", {"i": "0:N"},
+                                  {"__v": Memlet("T", "i")}, "__out = __v",
+                                  {"__out": Memlet("out", "0", wcr="sum")})
+        return sdfg
+
+    def test_scalar_argument_binds_symbol(self):
+        from repro.runtime.executor import infer_symbols
+
+        sdfg = self._shapeless()
+        env = infer_symbols(sdfg, {"N": np.array([5], dtype=np.int32)})
+        assert env == {"N": 5}
+
+    def test_shapeless_program_executes(self):
+        # only the scalar argument N can size the transient and map range
+        sdfg = self._shapeless()
+        out = np.zeros(1)
+        run_sdfg(sdfg, N=5, out=out)
+        assert out[0] == sum(range(5))
+
+    def test_scalar_conflicts_with_shape_binding(self):
+        sdfg = SDFG("conflict")
+        sdfg.add_scalar("N", repro.int32)
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_state()
+        with pytest.raises(ExecutionError,
+                           match="shape-derived 4 vs scalar argument 7"):
+            run_sdfg(sdfg, N=7, A=np.zeros(4))
+
+    def test_matching_scalar_and_shape_accepted(self):
+        sdfg = SDFG("agree")
+        sdfg.add_scalar("N", repro.int32)
+        sdfg.add_array("A", (N,), repro.float64)
+        sdfg.add_state()
+        run_sdfg(sdfg, N=4, A=np.zeros(4))  # must not raise
+
+    def test_non_integer_scalar_does_not_bind(self):
+        from repro.runtime.executor import infer_symbols
+
+        sdfg = SDFG("floaty")
+        sdfg.add_scalar("alpha", repro.float64)
+        sdfg.add_state()
+        env = infer_symbols(sdfg, {"alpha": np.array([2.5])})
+        assert env == {}

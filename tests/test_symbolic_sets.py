@@ -119,6 +119,29 @@ class TestTransformations:
         rng = Range.from_string("1:N-1")
         assert rng.to_slices({"N": 10}) == (slice(1, 9, 1),)
 
+    def test_to_slices_empty_range(self):
+        # a triangular subset 0:i at i == 0 stores inclusive end -1: the
+        # range is empty, and the stop must not wrap into from-the-end
+        # indexing (slice(0, 0) for end -1, but end -2 naively becomes
+        # slice(0, -1) — almost the whole array)
+        arr = list(range(8))
+        for end in (-1, -2, -3):
+            rng = Range([(Integer(0), Integer(end), Integer(1))])
+            assert arr[rng.to_slices()[0]] == []
+
+    def test_to_slices_negative_step(self):
+        arr = list(range(8))
+        # descending 4..0: exclusive stop of inclusive 0 is None, not -1
+        # (which wraps to the end) nor +1 (the old ascending conversion)
+        rng = Range([(Integer(4), Integer(0), Integer(-1))])
+        assert arr[rng.to_slices()[0]] == [4, 3, 2, 1, 0]
+        # descending 5..2 keeps a finite stop
+        rng = Range([(Integer(5), Integer(2), Integer(-1))])
+        assert arr[rng.to_slices()[0]] == [5, 4, 3, 2]
+        # empty descending range (end above begin)
+        rng = Range([(Integer(2), Integer(5), Integer(-1))])
+        assert arr[rng.to_slices()[0]] == []
+
 
 # ---------------------------------------------------------------------------
 # Property tests against concrete integer sets
