@@ -7,7 +7,7 @@ Public API mirrors the paper's ``dace`` module: the ``@program`` decorator,
 explicit-communication ``comm`` namespace for distributed programs.
 """
 
-from . import instrumentation
+from . import instrumentation, sanitizer
 from .config import Config
 from .dtypes import (bool_, complex64, complex128, float32, float64, int8,
                      int16, int32, int64, symbol, uint8, uint16, uint32,
@@ -16,6 +16,7 @@ from .frontend.decorator import DaceProgram, map_marker as map, program
 from .instrumentation import ProfileCollector, ProfileReport, profile
 from .ir import SDFG, InterstateEdge, Memlet, SDFGState
 from .resilience import FailureReport, ResilienceWarning
+from .sanitizer import SanitizerError
 from .symbolic import Range, Symbol
 
 __version__ = "1.0.0"
@@ -25,6 +26,7 @@ __all__ = [
     "SDFG", "SDFGState", "Memlet", "InterstateEdge", "Range", "Symbol",
     "FailureReport", "ResilienceWarning",
     "instrumentation", "profile", "ProfileCollector", "ProfileReport",
+    "sanitizer", "SanitizerError",
     "bool_", "int8", "int16", "int32", "int64",
     "uint8", "uint16", "uint32", "uint64",
     "float32", "float64", "complex64", "complex128",

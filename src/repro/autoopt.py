@@ -76,11 +76,17 @@ def auto_optimize(sdfg, device: str = "CPU", use_fast_library: bool = True,
             if not transactional:
                 thunk()
                 return
+            from .resilience import _check_static_issues, _static_issues
+
+            check_static = Config.get("sanitize.check_transforms")
+            baseline = _static_issues(sdfg) if check_static else frozenset()
             snapshot = SDFGSnapshot.capture(sdfg)
             try:
                 thunk()
                 if not Config.get("validate.after_transform"):
                     sdfg.validate()
+                if check_static:
+                    _check_static_issues(sdfg, baseline)
             except Exception as exc:
                 snapshot.restore(sdfg)
                 report.record("optimization", name, exc, "rolled-back",

@@ -21,19 +21,24 @@ class CompiledSDFG:
     """An executable, specialized program generated from an SDFG.
 
     With ``instrument=True`` the generated module carries per-state and
-    per-map timing hooks (reporting to :mod:`repro.instrumentation`); the
-    default emits the unchanged hook-free module.
+    per-map timing hooks (reporting to :mod:`repro.instrumentation`); with
+    ``sanitize=True`` it carries bounds/NaN guard calls (reporting to
+    :mod:`repro.sanitizer.guards`); the default emits the unchanged
+    hook-free module.
     """
 
-    def __init__(self, sdfg, device: str = "CPU", instrument: bool = False):
+    def __init__(self, sdfg, device: str = "CPU", instrument: bool = False,
+                 sanitize: bool = False):
         from .pygen import generate_module
 
         self.sdfg = sdfg
         self.device = device
         self.instrumented = instrument
+        self.sanitized = sanitize
         start = time.perf_counter()
         sdfg.validate()
-        self._run, self.source = generate_module(sdfg, instrument=instrument)
+        self._run, self.source = generate_module(sdfg, instrument=instrument,
+                                                 sanitize=sanitize)
         self.codegen_seconds = time.perf_counter() - start
         coll = instrumentation._ACTIVE
         if coll is not None:
@@ -59,7 +64,8 @@ class CompiledSDFG:
         return f"CompiledSDFG({self.sdfg.name!r}, device={self.device})"
 
 
-def compile_sdfg(sdfg, device: str = "CPU",
-                 instrument: bool = False) -> CompiledSDFG:
+def compile_sdfg(sdfg, device: str = "CPU", instrument: bool = False,
+                 sanitize: bool = False) -> CompiledSDFG:
     """Compile an SDFG into an executable specialized module."""
-    return CompiledSDFG(sdfg, device=device, instrument=instrument)
+    return CompiledSDFG(sdfg, device=device, instrument=instrument,
+                        sanitize=sanitize)

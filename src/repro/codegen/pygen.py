@@ -176,9 +176,10 @@ class _ScalarRewrite(ast.NodeTransformer):
 # ---------------------------------------------------------------------------
 
 class _Generator:
-    def __init__(self, sdfg, instrument: bool = False):
+    def __init__(self, sdfg, instrument: bool = False, sanitize: bool = False):
         self.sdfg = sdfg
         self.instrument = instrument
+        self.sanitize = sanitize
         self.lines: List[str] = []
         self.closures: Dict[str, object] = {}
         self._uid = 0
@@ -203,6 +204,33 @@ class _Generator:
         for begin, end, step in subset.dims:
             dims.append(f"slice(({begin}), ({end}) + 1, ({step}))")
         return "(" + ", ".join(dims) + ("," if len(dims) == 1 else "") + ")"
+
+    def _memlet_index_code(self, memlet: Memlet) -> str:
+        desc = self.sdfg.arrays[memlet.data]
+        if isinstance(desc, Scalar):
+            return "(0,)"
+        return self.subset_slices_code(memlet.subset, desc)
+
+    def emit_read_guard(self, memlet: Memlet) -> None:
+        """Sanitizer bounds check before a top-level memlet read."""
+        if not self.sanitize or memlet.subset is None:
+            return
+        if isinstance(self.sdfg.arrays.get(memlet.data), (Scalar, Stream)):
+            return
+        self.emit(f"__guard_read({memlet.data!r}, {memlet.data}, "
+                  f"{self._memlet_index_code(memlet)})")
+
+    def emit_write_guard(self, memlet: Memlet, value_code: str) -> None:
+        """Sanitizer bounds + NaN/Inf check before a top-level memlet write."""
+        if not self.sanitize:
+            return
+        desc = self.sdfg.arrays.get(memlet.data)
+        if desc is None or isinstance(desc, Stream):
+            return
+        if memlet.subset is None and not isinstance(desc, Scalar):
+            return
+        self.emit(f"__guard_write({memlet.data!r}, {memlet.data}, "
+                  f"{self._memlet_index_code(memlet)}, {value_code})")
 
     def read_code(self, memlet: Memlet) -> str:
         """Expression reading a memlet in scalar (top-level) context."""
@@ -272,6 +300,7 @@ class _Generator:
                 continue
             var = f"__t{tid}_{edge.dst_conn}"
             rename[edge.dst_conn] = var
+            self.emit_read_guard(edge.memlet)
             self.emit(f"{var} = {self.read_code(edge.memlet)}")
         out_vars = {}
         for edge in state.out_edges(node):
@@ -300,6 +329,7 @@ class _Generator:
         for edge in state.out_edges(node):
             if edge.memlet.is_empty() or edge.src_conn is None:
                 continue
+            self.emit_write_guard(edge.memlet, out_vars[edge.src_conn])
             self.emit(self.write_stmt(edge.memlet, out_vars[edge.src_conn]))
 
     def _tasklet_inlineable(self, state, node: Tasklet) -> bool:
@@ -440,6 +470,9 @@ class _Generator:
             for conn, (kind, payload) in plan["in"].items():
                 var = f"__v{tid}_{conn}"
                 if kind == "view":
+                    if self.sanitize and payload[1] != "scalar":
+                        self.emit(f"__guard_read({payload[0]!r}, {payload[0]}, "
+                                  f"{self._plan_index_code(payload, sid)})")
                     self.emit(f"{var} = {self._view_code(payload, sid, k)}")
                 elif kind == "local":
                     src_var = local_vars.get(payload)
@@ -468,6 +501,11 @@ class _Generator:
             for conn, actions in plan["out"].items():
                 for kind, payload in actions:
                     if kind == "store":
+                        if self.sanitize:
+                            self.emit(f"__guard_write({payload[0]!r}, "
+                                      f"{payload[0]}, "
+                                      f"{self._plan_index_code(payload, sid)}, "
+                                      f"{out_names[conn]})")
                         self.emit(self._store_code(payload, out_names[conn],
                                                    sid, k, shape_var))
                     elif kind == "local":
@@ -517,11 +555,10 @@ class _Generator:
                 return None
         return (memlet.data, "array", dim_plans, axes)
 
-    def _view_code(self, plan, sid: int, k: int) -> str:
-        data, kind, dim_plans, axes = plan
-        if kind == "scalar":
-            return f"{data}[0]"
-        # axes[i] is the canonical parameter index of the i-th affine dim
+    def _plan_parts(self, dim_plans, axes, sid: int) -> List[str]:
+        """Per-dimension index expressions shared by views, stores, and the
+        sanitizer guards.  ``axes[i]`` is the canonical parameter index of
+        the i-th affine dim."""
         parts = []
         affine_i = 0
         for dp in dim_plans:
@@ -533,6 +570,20 @@ class _Generator:
                 affine_i += 1
                 parts.append(f"make_slice(({a}), ({c}), __b{j}_{sid}, "
                              f"__e{j}_{sid}, __s{j}_{sid})")
+        return parts
+
+    def _plan_index_code(self, plan, sid: int) -> str:
+        dim_plans, axes = plan[2], plan[3]
+        if plan[1] == "scalar":
+            return "(0,)"
+        parts = self._plan_parts(dim_plans, axes, sid)
+        return "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+
+    def _view_code(self, plan, sid: int, k: int) -> str:
+        data, kind, dim_plans, axes = plan
+        if kind == "scalar":
+            return f"{data}[0]"
+        parts = self._plan_parts(dim_plans, axes, sid)
         view = f"{data}[{', '.join(parts)}{',' if len(parts) == 1 else ''}]" \
             if parts else data
         if axes == list(range(k)):
@@ -581,17 +632,7 @@ class _Generator:
                        f"if np.ndim({value_var}) else {value_var}"
             return (f"wcr_store({data}, {idx}, {value_var}, {wcr!r}, (), "
                     f"{shape_var})")
-        parts = []
-        affine_i = 0
-        for dp in dim_plans:
-            if dp[0] == "const":
-                parts.append(f"({dp[1]})")
-            else:
-                _, param, a, c = dp
-                j = axes[affine_i]
-                affine_i += 1
-                parts.append(f"make_slice(({a}), ({c}), __b{j}_{sid}, "
-                             f"__e{j}_{sid}, __s{j}_{sid})")
+        parts = self._plan_parts(dim_plans, axes, sid)
         idx = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
         if wcr is None:
             return (f"store_aligned({data}, {idx}, {value_var}, {tuple(axes)}, "
@@ -616,6 +657,13 @@ class _Generator:
         dst_code = (f"{edge.dst.data}[{self.subset_slices_code(dst_subset, dst_desc)}]"
                     if dst_subset is not None else edge.dst.data)
         uid = self.uid()
+        if self.sanitize:
+            if src_subset is not None and not isinstance(src_desc, Scalar):
+                self.emit(f"__guard_read({edge.src.data!r}, {edge.src.data}, "
+                          f"{self.subset_slices_code(src_subset, src_desc)})")
+            if dst_subset is not None and not isinstance(dst_desc, Scalar):
+                self.emit(f"__guard_read({edge.dst.data!r}, {edge.dst.data}, "
+                          f"{self.subset_slices_code(dst_subset, dst_desc)})")
         self.emit(f"__cp{uid} = np.asarray({src_code})")
         target = f"__dst{uid}"
         self.emit(f"{target} = {dst_code}")
@@ -693,17 +741,20 @@ def _build_scope_order(state):
 # Module assembly
 # ---------------------------------------------------------------------------
 
-def generate_module(sdfg, instrument: bool = False) -> Tuple[object, str]:
+def generate_module(sdfg, instrument: bool = False,
+                    sanitize: bool = False) -> Tuple[object, str]:
     """Generate the specialized module for an SDFG.
 
     Returns ``(run_callable, source)``: the callable takes
     ``(containers, symbols)`` and executes the program.
 
     With ``instrument=True`` the module carries per-state and per-map-scope
-    timing hooks that report to :mod:`repro.instrumentation`; without it the
+    timing hooks that report to :mod:`repro.instrumentation`; with
+    ``sanitize=True`` it carries index-bounds and NaN/Inf guard calls that
+    report to :mod:`repro.sanitizer.guards`.  Without the flags the
     generated source is hook-free (the zero-overhead-when-off guarantee).
     """
-    gen = _Generator(sdfg, instrument=instrument)
+    gen = _Generator(sdfg, instrument=instrument, sanitize=sanitize)
     states = sdfg.topological_states()
     index = {s: i for i, s in enumerate(states)}
 
@@ -803,6 +854,12 @@ def generate_module(sdfg, instrument: bool = False) -> Tuple[object, str]:
 
         namespace["__prof_now"] = _time.perf_counter
         namespace["__prof_add"] = _prof_add
+
+    if sanitize:
+        from ..sanitizer import guards as _sg
+
+        namespace["__guard_read"] = _sg.guard_read
+        namespace["__guard_write"] = _sg.guard_write
 
     namespace["__alloc"] = lambda name, symbols: allocate_container(
         sdfg.arrays[name], symbols)

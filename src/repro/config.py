@@ -18,6 +18,9 @@ _DEFAULTS: Dict[str, Any] = {
     "optimizer.stack_array_limit": 64,       # elements; below -> "stack" storage
     # Instrumentation (see repro.instrumentation)
     "instrument.mode": "off",                # "off" | "timers"
+    # Sanitizer (see repro.sanitizer and DESIGN.md §8)
+    "sanitize.mode": "off",                  # "off" | "bounds" | "nan" | "bounds,nan"
+    "sanitize.check_transforms": True,       # static race/bounds gate on passes
     # Validation
     "validate.after_transform": True,
     "validate.before_execute": True,         # run ir.validation before run_sdfg

@@ -48,7 +48,8 @@ class DaceProgram:
     def __init__(self, func: Callable, auto_optimize: bool = False,
                  device: str = "CPU", fallback: Optional[bool] = None,
                  backend: str = "codegen",
-                 instrument: Optional[str] = None):
+                 instrument: Optional[str] = None,
+                 sanitize: Optional[str] = None):
         functools.update_wrapper(self, func)
         self.func = func
         self.name = func.__name__
@@ -59,6 +60,9 @@ class DaceProgram:
         #: per-program instrumentation mode; None defers to the
         #: ``instrument.mode`` configuration key
         self.instrument = instrument
+        #: per-program sanitizer mode ("bounds,nan" etc.); None defers to
+        #: the ``sanitize.mode`` configuration key
+        self.sanitize = sanitize
         #: ProfileReport of the most recent instrumented call
         self.last_profile = None
         #: degradation-chain attempts of the most recent degrade-mode call
@@ -174,13 +178,16 @@ class DaceProgram:
 
     # ---------------------------------------------------------------- execution
     def compile(self, *args, device: Optional[str] = None,
-                instrument: bool = False, **kwargs):
+                instrument: bool = False,
+                sanitize: Optional[bool] = None, **kwargs):
         """Ahead-of-time compile; returns a CompiledSDFG.
 
         ``instrument=True`` compiles a module with timing hooks (cached
-        separately from the plain module).  When a profile collector is
-        active, the compile phases (parse, autoopt, codegen) report their
-        wall time to it — the Fig. 6 decomposition.
+        separately from the plain module); ``sanitize=True`` one with
+        bounds/NaN guard calls (``sanitize=None`` defers to the program's
+        resolved sanitizer mode).  When a profile collector is active, the
+        compile phases (parse, autoopt, codegen) report their wall time to
+        it — the Fig. 6 decomposition.
         """
         from .. import instrumentation
         from ..codegen import compile_sdfg
@@ -192,8 +199,10 @@ class DaceProgram:
                 sdfg = self.to_sdfg(*args, **kwargs)
         else:
             sdfg = self.to_sdfg(*args, **kwargs)
+        if sanitize is None:
+            sanitize = bool(self._sanitize_mode())
         key = (self._desc_key(self.to_sdfg_descs(args, kwargs)), device,
-               self.auto_optimize, instrument)
+               self.auto_optimize, instrument, sanitize)
         if key in self._compiled_cache:
             return self._compiled_cache[key]
         if self.auto_optimize:
@@ -203,7 +212,8 @@ class DaceProgram:
                     sdfg.auto_optimize(device=device)
             else:
                 sdfg.auto_optimize(device=device)
-        compiled = compile_sdfg(sdfg, device=device, instrument=instrument)
+        compiled = compile_sdfg(sdfg, device=device, instrument=instrument,
+                                sanitize=sanitize)
         self._compiled_cache[key] = compiled
         return compiled
 
@@ -222,6 +232,15 @@ class DaceProgram:
                 call_kwargs[name] = value
         return call_kwargs
 
+    def _sanitize_mode(self) -> str:
+        """Resolved sanitizer mode: a comma-joined guard set, "" when off."""
+        from ..sanitizer import guards
+
+        mode = self.sanitize
+        if mode is None:
+            mode = Config.get("sanitize.mode")
+        return ",".join(sorted(guards.parse_modes(mode)))
+
     def _instrument_mode(self) -> str:
         mode = self.instrument
         if mode is None:
@@ -231,6 +250,15 @@ class DaceProgram:
         return "timers" if mode is True else str(mode)
 
     def __call__(self, *args, **kwargs):
+        smode = self._sanitize_mode()
+        if smode:
+            from ..sanitizer import guards
+
+            with guards.sanitize(smode, program=self.name):
+                return self._call_impl(args, kwargs)
+        return self._call_impl(args, kwargs)
+
+    def _call_impl(self, args, kwargs):
         if self._instrument_mode() != "off":
             return self._call_instrumented(args, kwargs)
         if Config.get("resilience.mode") == "degrade":
@@ -396,14 +424,17 @@ def _value_to_desc(value) -> Data:
 
 def program(func: Optional[Callable] = None, *, auto_optimize: bool = False,
             device: str = "CPU", fallback: Optional[bool] = None,
-            backend: str = "codegen", instrument: Optional[str] = None):
+            backend: str = "codegen", instrument: Optional[str] = None,
+            sanitize: Optional[str] = None):
     """Decorator marking a function as a data-centric program.
 
     Usable bare (``@repro.program``) or with options
     (``@repro.program(auto_optimize=True, device="GPU")``).
     ``instrument="timers"`` forces profiling for this program;
-    ``instrument=None`` (default) defers to the ``instrument.mode``
-    configuration key.
+    ``sanitize="bounds,nan"`` enables runtime guards (bounds/NaN checks in
+    both the interpreter and the generated module); either ``None``
+    (default) defers to the matching configuration key
+    (``instrument.mode`` / ``sanitize.mode``).
     """
     if func is not None:
         return DaceProgram(func)
@@ -411,6 +442,6 @@ def program(func: Optional[Callable] = None, *, auto_optimize: bool = False,
     def wrapper(f: Callable) -> DaceProgram:
         return DaceProgram(f, auto_optimize=auto_optimize, device=device,
                            fallback=fallback, backend=backend,
-                           instrument=instrument)
+                           instrument=instrument, sanitize=sanitize)
 
     return wrapper

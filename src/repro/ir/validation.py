@@ -1,12 +1,16 @@
 """SDFG validation: structural invariants of the data-centric IR.
 
-Raises :class:`InvalidSDFGError` describing the first violated invariant.
-Run after the frontend and (configurably) after every transformation.
+``validate_sdfg``/``validate_state`` raise :class:`InvalidSDFGError`
+describing the first violated invariant (right for the transactional
+pipeline, which only needs a yes/no).  Every check is written as a
+generator, so :func:`collect_validation_errors` can drain the same checks
+to produce the *complete* damage assessment of a corrupted graph —
+including provable out-of-bounds memlets from the static bounds checker.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, List, Optional
 
 from .data import Scalar, Stream
 from .memlet import Memlet
@@ -43,90 +47,124 @@ class InvalidSDFGError(ValueError):
 
 
 def validate_sdfg(sdfg) -> None:
-    _validate_toplevel(sdfg)
+    for error in _toplevel_errors(sdfg):
+        raise error
     for state in sdfg.states():
         validate_state(state, sdfg)
 
 
-def _validate_toplevel(sdfg) -> None:
+def validate_state(state, sdfg=None) -> None:
+    sdfg = sdfg or state.sdfg
+    for error in _state_errors(state, sdfg):
+        raise error
+
+
+def collect_validation_errors(sdfg) -> list:
+    """Validate without raising: return *every* violated invariant.
+
+    Unlike ``validate_sdfg`` this drains all checks (structural invariants
+    of every state, nested SDFGs recursively, and provable out-of-bounds
+    memlet subsets from :mod:`repro.sanitizer.bounds`), so multi-fault
+    graphs report all faults at once.
+    """
+    errors = list(_toplevel_errors(sdfg))
+    for state in sdfg.states():
+        errors.extend(_state_errors(state, sdfg, collect_nested=True))
+    errors.extend(_bounds_errors(sdfg))
+    return errors
+
+
+def _bounds_errors(sdfg) -> List[InvalidSDFGError]:
+    """Provable out-of-bounds subsets, as validation errors.
+
+    Only *provable* violations surface here (verdict ``out-of-bounds``);
+    ``unproved`` subsets are legal graphs that merely resist static
+    analysis.  Lazy import: the sanitizer sits above ``ir`` in the layer
+    diagram, so ``ir.validation`` must not import it at module load.
+    """
+    try:
+        from ..sanitizer.bounds import OUT_OF_BOUNDS, check_bounds
+    except ImportError:  # pragma: no cover - sanitizer always ships
+        return []
+    errors = []
+    for verdict in check_bounds(sdfg):
+        if verdict.verdict == OUT_OF_BOUNDS:
+            errors.append(InvalidSDFGError(
+                f"memlet subset [{verdict.subset}] on container "
+                f"{verdict.container!r} is provably out of bounds "
+                f"({verdict.detail}) [sdfg={verdict.sdfg!r}, "
+                f"state={verdict.state!r}]"))
+    return errors
+
+
+def _toplevel_errors(sdfg) -> Iterator[InvalidSDFGError]:
     """SDFG-level invariants (state machine + interstate edges)."""
     if sdfg.start_state is None and sdfg.number_of_states() > 0:
-        raise InvalidSDFGError("SDFG has states but no start state", sdfg=sdfg)
+        yield InvalidSDFGError("SDFG has states but no start state", sdfg=sdfg)
     labels = [s.label for s in sdfg.states()]
     if len(labels) != len(set(labels)):
-        raise InvalidSDFGError("duplicate state labels", sdfg=sdfg)
+        yield InvalidSDFGError("duplicate state labels", sdfg=sdfg)
     for isedge in sdfg.edges():
         for name in isedge.data.free_symbols:
             if name not in sdfg.symbols and name not in sdfg.arrays:
                 # allowed: loop variables assigned on other edges
                 assigned = any(name in e.data.assignments for e in sdfg.edges())
                 if not assigned:
-                    raise InvalidSDFGError(
+                    yield InvalidSDFGError(
                         f"interstate edge references unknown symbol {name!r}",
                         sdfg=sdfg)
 
 
-def collect_validation_errors(sdfg) -> list:
-    """Validate without raising: return *every* violated invariant.
+def _state_errors(state, sdfg=None,
+                  collect_nested: bool = False) -> Iterator[InvalidSDFGError]:
+    """Every violated invariant of one state, in deterministic order.
 
-    ``validate_sdfg`` stops at the first violation, which is right for the
-    transactional pipeline but unhelpful for diagnostics — a failure report
-    wants the complete damage assessment of a corrupted graph.
+    ``collect_nested`` switches nested-SDFG handling from first-error
+    (``validate``) to full collection (``collect_validation_errors``).
     """
-    errors = []
-    try:
-        _validate_toplevel(sdfg)
-    except InvalidSDFGError as exc:
-        errors.append(exc)
-    for state in sdfg.states():
-        try:
-            validate_state(state, sdfg)
-        except InvalidSDFGError as exc:
-            errors.append(exc)
-    return errors
-
-
-def validate_state(state, sdfg=None) -> None:
     sdfg = sdfg or state.sdfg
     if not state.is_acyclic():
-        raise InvalidSDFGError("state dataflow graph contains a cycle",
+        yield InvalidSDFGError("state dataflow graph contains a cycle",
                                sdfg=sdfg, state=state)
 
     for node in state.nodes():
         if isinstance(node, AccessNode):
             if sdfg is not None and node.data not in sdfg.arrays:
-                raise InvalidSDFGError(
+                yield InvalidSDFGError(
                     f"access node refers to undeclared container {node.data!r}",
                     sdfg=sdfg, state=state, node=node)
         if isinstance(node, MapEntry):
             if node.exit_node not in state:
-                raise InvalidSDFGError("MapEntry without its MapExit in state",
+                yield InvalidSDFGError("MapEntry without its MapExit in state",
                                        sdfg=sdfg, state=state, node=node)
-            for conn in node.in_connectors:
-                if not conn.startswith("IN_"):
-                    raise InvalidSDFGError(
-                        f"MapEntry in-connector {conn!r} must start with IN_",
-                        sdfg=sdfg, state=state, node=node)
+            yield from _scope_connector_errors(node, state, sdfg)
         if isinstance(node, MapExit):
             if node.entry_node not in state:
-                raise InvalidSDFGError("MapExit without its MapEntry in state",
+                yield InvalidSDFGError("MapExit without its MapEntry in state",
                                        sdfg=sdfg, state=state, node=node)
+            yield from _scope_connector_errors(node, state, sdfg)
         if isinstance(node, Tasklet):
             if not node.code or not isinstance(node.code, str):
-                raise InvalidSDFGError("tasklet with empty code",
+                yield InvalidSDFGError("tasklet with empty code",
                                        sdfg=sdfg, state=state, node=node)
         if isinstance(node, NestedSDFG):
-            node.sdfg.validate()
+            if collect_nested:
+                yield from collect_validation_errors(node.sdfg)
+            else:
+                try:
+                    node.sdfg.validate()
+                except InvalidSDFGError as exc:
+                    yield exc
             for conn in node.in_connectors | node.out_connectors:
                 if conn not in node.sdfg.arrays:
-                    raise InvalidSDFGError(
+                    yield InvalidSDFGError(
                         f"nested SDFG connector {conn!r} has no matching "
                         f"container in the nested SDFG", sdfg=sdfg, state=state,
                         node=node)
 
     # Connector/edge consistency
     for edge in state.edges():
-        _validate_edge(edge, state, sdfg)
+        yield from _edge_errors(edge, state, sdfg)
 
     # Dangling connectors: every connector must have at least one edge
     for node in state.nodes():
@@ -134,25 +172,57 @@ def validate_state(state, sdfg=None) -> None:
             continue
         in_used = {e.dst_conn for e in state.in_edges(node)}
         out_used = {e.src_conn for e in state.out_edges(node)}
-        for conn in node.in_connectors - in_used:
-            raise InvalidSDFGError(f"dangling input connector {conn!r}",
+        for conn in sorted(node.in_connectors - in_used):
+            yield InvalidSDFGError(f"dangling input connector {conn!r}",
                                    sdfg=sdfg, state=state, node=node)
-        for conn in node.out_connectors - out_used:
-            raise InvalidSDFGError(f"dangling output connector {conn!r}",
+        for conn in sorted(node.out_connectors - out_used):
+            yield InvalidSDFGError(f"dangling output connector {conn!r}",
                                    sdfg=sdfg, state=state, node=node)
 
 
-def _validate_edge(edge, state, sdfg) -> None:
+def _scope_connector_errors(node, state, sdfg) -> Iterator[InvalidSDFGError]:
+    """Prefix and pairing invariants of map scope connectors.
+
+    Both scope nodes (entry *and* exit) route containers through matched
+    ``IN_x``/``OUT_x`` connector pairs; a one-sided connector means a
+    transformation dropped half of a routed path.
+    """
+    kind = "MapEntry" if isinstance(node, MapEntry) else "MapExit"
+    for conn in sorted(node.in_connectors):
+        if not conn.startswith("IN_"):
+            yield InvalidSDFGError(
+                f"{kind} in-connector {conn!r} must start with IN_",
+                sdfg=sdfg, state=state, node=node)
+    for conn in sorted(node.out_connectors):
+        if not conn.startswith("OUT_"):
+            yield InvalidSDFGError(
+                f"{kind} out-connector {conn!r} must start with OUT_",
+                sdfg=sdfg, state=state, node=node)
+    routed_in = {c[len("IN_"):] for c in node.in_connectors
+                 if c.startswith("IN_")}
+    routed_out = {c[len("OUT_"):] for c in node.out_connectors
+                  if c.startswith("OUT_")}
+    for name in sorted(routed_in - routed_out):
+        yield InvalidSDFGError(
+            f"{kind} connector IN_{name} has no matching OUT_{name}",
+            sdfg=sdfg, state=state, node=node)
+    for name in sorted(routed_out - routed_in):
+        yield InvalidSDFGError(
+            f"{kind} connector OUT_{name} has no matching IN_{name}",
+            sdfg=sdfg, state=state, node=node)
+
+
+def _edge_errors(edge, state, sdfg) -> Iterator[InvalidSDFGError]:
     memlet: Memlet = edge.memlet
     # connector existence
     if edge.src_conn is not None:
         if not isinstance(edge.src, CodeNode) or edge.src_conn not in edge.src.out_connectors:
-            raise InvalidSDFGError(
+            yield InvalidSDFGError(
                 f"edge uses missing source connector {edge.src_conn!r}",
                 sdfg=sdfg, state=state, node=edge.src)
     if edge.dst_conn is not None:
         if not isinstance(edge.dst, CodeNode) or edge.dst_conn not in edge.dst.in_connectors:
-            raise InvalidSDFGError(
+            yield InvalidSDFGError(
                 f"edge uses missing destination connector {edge.dst_conn!r}",
                 sdfg=sdfg, state=state, node=edge.dst)
     if memlet.is_empty():
@@ -160,19 +230,20 @@ def _validate_edge(edge, state, sdfg) -> None:
     if sdfg is None:
         return
     if memlet.data not in sdfg.arrays:
-        raise InvalidSDFGError(
+        yield InvalidSDFGError(
             f"memlet refers to undeclared container {memlet.data!r}",
             sdfg=sdfg, state=state)
+        return
     desc = sdfg.arrays[memlet.data]
     if memlet.subset is not None and not isinstance(desc, (Scalar, Stream)):
         if memlet.subset.ndim != desc.ndim:
-            raise InvalidSDFGError(
+            yield InvalidSDFGError(
                 f"memlet subset [{memlet.subset}] has {memlet.subset.ndim} "
                 f"dimensions but container {memlet.data!r} has {desc.ndim}",
                 sdfg=sdfg, state=state)
     # memlets between two access nodes must name one of the two containers
     if isinstance(edge.src, AccessNode) and isinstance(edge.dst, AccessNode):
         if memlet.data not in (edge.src.data, edge.dst.data):
-            raise InvalidSDFGError(
+            yield InvalidSDFGError(
                 "copy memlet names neither endpoint container",
                 sdfg=sdfg, state=state)

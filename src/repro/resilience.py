@@ -247,6 +247,26 @@ def transformation_name(transformation) -> str:
     return type(transformation).__name__
 
 
+def _static_issues(sdfg) -> frozenset:
+    """Provable race / out-of-bounds issue keys (sanitize.check_transforms)."""
+    from .sanitizer import static_issue_keys
+
+    return static_issue_keys(sdfg)
+
+
+def _check_static_issues(sdfg, baseline: frozenset) -> None:
+    """Raise when the transformed graph has provable issues the original
+    did not — semantics-preservation failed even though validation passed."""
+    from .sanitizer import SanitizerError
+
+    fresh = _static_issues(sdfg) - baseline
+    if fresh:
+        raise SanitizerError(
+            "static", sdfg.name,
+            "transformation introduced provable issue(s): "
+            + "; ".join(sorted(fresh)), issues=sorted(fresh))
+
+
 def transactional_apply(sdfg, transformation, *,
                         report: Optional[FailureReport] = None,
                         quarantine: Optional[Quarantine] = None,
@@ -269,6 +289,8 @@ def transactional_apply(sdfg, transformation, *,
         # fixed-point sweeps)
         if next(iter(transformation.matches(sdfg, **options)), None) is None:
             return 0
+        check_static = Config.get("sanitize.check_transforms")
+        baseline = _static_issues(sdfg) if check_static else frozenset()
         snapshot = SDFGSnapshot.capture(sdfg)
         applied = transformation.apply_repeated(
             sdfg, max_applications=max_applications, **options)
@@ -276,6 +298,8 @@ def transactional_apply(sdfg, transformation, *,
             # apply_once validates per application when the config flag is
             # on; otherwise the transaction still validates the final graph
             sdfg.validate()
+        if applied and check_static:
+            _check_static_issues(sdfg, baseline)
         return applied
     except Exception as exc:
         if snapshot is not None:

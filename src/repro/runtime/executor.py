@@ -18,6 +18,7 @@ import numpy as np
 
 from .. import instrumentation
 from ..config import Config
+from ..sanitizer import guards as _guards
 from ..ir.data import Array, Scalar, Stream, View
 from ..ir.memlet import Memlet
 from ..ir.nodes import (
@@ -169,6 +170,10 @@ def _read(ctx: _Context, memlet: Memlet, env: Dict[str, Any]):
     if isinstance(desc, Scalar):
         return storage[0]
     slices = memlet.subset.to_slices(env)
+    guard = _guards._ACTIVE
+    if guard is not None and "bounds" in guard.modes:
+        _guards.check_index(memlet.data, storage.shape, slices,
+                            program=guard.program)
     view = storage[slices]
     if memlet.squeeze:
         new_shape = tuple(s for axis, s in enumerate(view.shape)
@@ -185,6 +190,9 @@ def _write(ctx: _Context, memlet: Memlet, env: Dict[str, Any], value) -> None:
     if isinstance(desc, Stream):
         storage.append(value)
         return
+    guard = _guards._ACTIVE
+    if guard is not None and "nan" in guard.modes:
+        _guards.check_value(memlet.data, value, program=guard.program)
     if isinstance(desc, Scalar):
         if memlet.wcr is not None:
             apply_wcr(storage, 0, value, memlet.wcr)
@@ -192,6 +200,9 @@ def _write(ctx: _Context, memlet: Memlet, env: Dict[str, Any], value) -> None:
             storage[0] = value
         return
     slices = memlet.subset.to_slices(env)
+    if guard is not None and "bounds" in guard.modes:
+        _guards.check_index(memlet.data, storage.shape, slices,
+                            program=guard.program)
     if memlet.wcr is not None:
         apply_wcr(storage, slices, value, memlet.wcr)
     else:
@@ -403,6 +414,7 @@ def _copy_edge(ctx: _Context, edge, env: Dict[str, Any]) -> None:
         src_subset = memlet.other_subset
         dst_subset = memlet.subset
 
+    guard = _guards._ACTIVE
     if isinstance(src_desc, Stream):
         value = src_storage.popleft()
     elif isinstance(src_desc, Scalar):
@@ -410,6 +422,9 @@ def _copy_edge(ctx: _Context, edge, env: Dict[str, Any]) -> None:
     else:
         slices = (src_subset.to_slices(env) if src_subset is not None
                   else tuple(slice(None) for _ in src_storage.shape))
+        if guard is not None and "bounds" in guard.modes:
+            _guards.check_index(src_name, src_storage.shape, slices,
+                                program=guard.program)
         value = src_storage[slices]
 
     if isinstance(dst_desc, Stream):
@@ -423,6 +438,9 @@ def _copy_edge(ctx: _Context, edge, env: Dict[str, Any]) -> None:
         return
     dst_slices = (dst_subset.to_slices(env) if dst_subset is not None
                   else tuple(slice(None) for _ in dst_storage.shape))
+    if guard is not None and "bounds" in guard.modes:
+        _guards.check_index(dst_name, dst_storage.shape, dst_slices,
+                            program=guard.program)
     target = dst_storage[dst_slices]
     value_arr = np.asarray(value)
     if value_arr.shape != target.shape:

@@ -1,0 +1,202 @@
+"""Runtime sanitizer guards: index-bounds and NaN/Inf checks.
+
+Mirrors the instrumentation layer's activation protocol: a module-global
+``_ACTIVE`` context is ``None`` when sanitizing is off, so every hook in the
+interpreter hot path costs a single ``is None`` test.  Generated modules are
+compiled with explicit ``__guard_read``/``__guard_write`` calls only when the
+program was compiled with ``sanitize=True`` (a separately cached module, like
+``instrument=True``), and those calls no-op unless a guard context is active.
+
+Checks are *dynamic* complements to the static analyses in
+:mod:`repro.sanitizer.races` / :mod:`repro.sanitizer.bounds`: NumPy slicing
+silently clips out-of-range slices, so without the guard an out-of-bounds
+memlet reads/writes the wrong elements instead of failing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import FrozenSet, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "SanitizerError",
+    "GUARD_MODES",
+    "parse_modes",
+    "sanitize",
+    "active_modes",
+    "check_index",
+    "check_value",
+    "guard_read",
+    "guard_write",
+]
+
+GUARD_MODES = ("bounds", "nan")
+
+
+class SanitizerError(RuntimeError):
+    """Structured runtime sanitizer violation.
+
+    Attributes
+    ----------
+    kind:       ``"bounds"`` | ``"nan"`` | ``"static"``
+    container:  name of the offending data container
+    detail:     dict with machine-readable context (index, shape, ...)
+    """
+
+    def __init__(self, kind: str, container: str, message: str, **detail):
+        super().__init__(f"[sanitize:{kind}] {container}: {message}")
+        self.kind = kind
+        self.container = container
+        self.detail = dict(detail)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "container": self.container,
+            "message": str(self),
+            "detail": {k: repr(v) for k, v in self.detail.items()},
+        }
+
+
+class _GuardState:
+    __slots__ = ("modes", "program")
+
+    def __init__(self, modes: FrozenSet[str], program: str):
+        self.modes = modes
+        self.program = program
+
+
+#: The active guard context; ``None`` (the common case) disables every check.
+_ACTIVE: Optional[_GuardState] = None
+
+
+def parse_modes(mode: Union[None, bool, str]) -> FrozenSet[str]:
+    """Normalize a ``sanitize=`` value to a set of guard modes.
+
+    ``None``/``False``/``""``/``"off"`` -> no modes; ``True``/``"on"``/
+    ``"all"`` -> every mode; otherwise a comma-separated subset of
+    :data:`GUARD_MODES`.
+    """
+    if mode is None or mode is False or mode == "" or mode == "off":
+        return frozenset()
+    if mode is True or mode in ("on", "all"):
+        return frozenset(GUARD_MODES)
+    if not isinstance(mode, str):
+        raise ValueError(f"invalid sanitize mode: {mode!r}")
+    selected = frozenset(part.strip() for part in mode.split(",") if part.strip())
+    unknown = selected - frozenset(GUARD_MODES)
+    if unknown:
+        raise ValueError(
+            f"unknown sanitize mode(s) {sorted(unknown)}; valid: {GUARD_MODES}"
+        )
+    return selected
+
+
+def active_modes() -> Optional[FrozenSet[str]]:
+    """The modes of the active guard context, or ``None`` when off."""
+    return _ACTIVE.modes if _ACTIVE is not None else None
+
+
+@contextmanager
+def sanitize(mode: Union[bool, str] = "bounds,nan", program: str = "") -> Iterator[None]:
+    """Activate runtime guards for the dynamic extent of the block."""
+    global _ACTIVE
+    modes = parse_modes(mode)
+    if not modes:
+        yield
+        return
+    previous = _ACTIVE
+    _ACTIVE = _GuardState(modes, program)
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+IndexPart = Union[int, slice]
+
+
+def _extent(part: IndexPart, dim: int) -> Optional[Tuple[int, int]]:
+    """Lowest/highest element index a slice or integer selects, or ``None``
+    for an empty selection.  Never clips — that is the point."""
+    if isinstance(part, slice):
+        step = 1 if part.step is None else part.step
+        if step > 0:
+            start = 0 if part.start is None else part.start
+            stop = dim if part.stop is None else part.stop
+        else:
+            start = dim - 1 if part.start is None else part.start
+            # A descending slice with stop=None runs down to index 0.
+            stop = -1 if part.stop is None else part.stop
+        points = range(int(start), int(stop), int(step))
+        if len(points) == 0:
+            return None
+        lo, hi = points[0], points[-1]
+        return (min(lo, hi), max(lo, hi))
+    idx = int(part)
+    return (idx, idx)
+
+
+def check_index(container: str, shape: Sequence[int], index: Sequence[IndexPart],
+                *, program: str = "") -> None:
+    """Raise :class:`SanitizerError` when *index* leaves ``[0, shape)``."""
+    if len(index) != len(shape):
+        raise SanitizerError(
+            "bounds", container,
+            f"index rank {len(index)} does not match shape {tuple(shape)}",
+            index=tuple(index), shape=tuple(shape), program=program)
+    for axis, (part, dim) in enumerate(zip(index, shape)):
+        extent = _extent(part, int(dim))
+        if extent is None:
+            continue
+        lo, hi = extent
+        if lo < 0 or hi >= dim:
+            raise SanitizerError(
+                "bounds", container,
+                f"axis {axis} accesses [{lo}, {hi}] outside [0, {int(dim) - 1}] "
+                f"(shape {tuple(int(s) for s in shape)})",
+                axis=axis, index=tuple(index), shape=tuple(shape),
+                program=program)
+
+
+def check_value(container: str, value, *, program: str = "") -> None:
+    """Raise :class:`SanitizerError` when a float/complex value is NaN/Inf."""
+    arr = np.asarray(value)
+    if arr.dtype.kind not in "fc":
+        return
+    if not np.all(np.isfinite(arr)):
+        flat = np.atleast_1d(arr)
+        bad = flat[~np.isfinite(flat)]
+        raise SanitizerError(
+            "nan", container,
+            f"non-finite value written ({bad[:4].tolist()}{'...' if bad.size > 4 else ''})",
+            count=int(bad.size), program=program)
+
+
+# ---------------------------------------------------------------------------
+# Generated-module hooks (injected into the codegen namespace when the module
+# is compiled with sanitize=True; no-ops unless a guard context is active)
+# ---------------------------------------------------------------------------
+
+def guard_read(container: str, storage, index: Sequence[IndexPart]) -> None:
+    state = _ACTIVE
+    if state is None:
+        return
+    if "bounds" in state.modes:
+        check_index(container, storage.shape, index, program=state.program)
+
+
+def guard_write(container: str, storage, index: Sequence[IndexPart], value) -> None:
+    state = _ACTIVE
+    if state is None:
+        return
+    if "bounds" in state.modes:
+        check_index(container, storage.shape, index, program=state.program)
+    if "nan" in state.modes:
+        check_value(container, value, program=state.program)

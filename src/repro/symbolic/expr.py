@@ -663,7 +663,14 @@ def _sign_query(expr: Expr, strict: bool) -> Optional[bool]:
                 if coeff > 0 and _product_positive(term):
                     return True
             return None
-        # const < 0 with nonnegative terms: unknown without magnitudes
+        # const < 0 with nonnegative terms: each provably *positive* term is
+        # an integer >= 1, so expr >= sum(positive coeffs) + const.
+        floor = const
+        for term, coeff in terms.items():
+            if coeff > 0 and _product_positive(term):
+                floor += coeff
+        if floor > 0 or (floor == 0 and not strict):
+            return True
         return None
     # All terms nonpositive and constant nonpositive -> definitely not positive
     if any_negative_coeff:
