@@ -9,7 +9,11 @@ measures three executions per benchmark:
 * ``compiled_s`` — the auto-optimized generated module,
 
 plus the compilation wall time decomposed per transformation pass via
-:mod:`repro.instrumentation` (the Fig. 6 analogue).  Per-benchmark speedup
+:mod:`repro.instrumentation` (the Fig. 6 analogue) and the cold-vs-warm
+compile decomposition through the persistent compilation cache
+(:mod:`repro.cache`): ``compile_cold_s`` measures the full
+optimize+validate+codegen pipeline with the cache bypassed, and
+``compile_warm_s`` measures a guaranteed cache hit.  Per-benchmark speedup
 is ``numpy_s / compiled_s`` and the corpus summary is their geometric mean
 (the Fig. 7 summary line).
 
@@ -17,23 +21,35 @@ Usage::
 
     python -m repro.bench.profile --size test
     python -m repro.bench.profile --size test --benchmarks gemm,atax,bicg
+    python -m repro.bench.profile --warm 4                      # parallel warm-up
+    python -m repro.bench.profile --check benchmarks/BENCH_baseline.json \
+        --tolerance 0.25                                        # CI perf gate
+    python -m repro.bench.profile --update-baseline             # refresh baseline
 
 The resulting ``BENCH_cpu.json`` (schema below) is the datapoint every PR's
-perf trajectory is judged against; CI uploads one per run.
+perf trajectory is judged against; CI uploads one per run and gates merges
+on ``--check`` against the committed ``benchmarks/BENCH_baseline.json``.
 
-Schema (``repro-bench-cpu/1``)::
+Schema (``repro-bench-cpu/2``)::
 
     {
-      "schema": "repro-bench-cpu/1",
+      "schema": "repro-bench-cpu/2",
       "created_utc": "...", "size": "...", "repetitions": N,
       "benchmarks": {
         "<name>": {"numpy_s": ..., "interpreter_s": ..., "compiled_s": ...,
                     "speedup": ..., "interpreter_speedup": ...,
-                    "compile_s": ..., "passes": {"<pass>": seconds, ...}}
+                    "compile_s": ..., "compile_cold_s": ...,
+                    "compile_warm_s": ..., "compile_warm_speedup": ...,
+                    "cache_populate": "miss" | "hit-disk" | "hit-memory",
+                    "passes": {"<pass>": seconds, ...}}
       },
       "failures": {"<name>": "<stage>: <error>"},
       "geomean_speedup": ...,            # compiled vs numpy, corpus geomean
-      "geomean_interpreter_speedup": ...
+      "geomean_interpreter_speedup": ...,
+      "geomean_compile_warm_speedup": ..., # cold/warm compile, corpus geomean
+      "compile_cold_total_s": ..., "compile_warm_total_s": ...,
+      "cache": {"memory_hits": ..., "disk_hits": ..., "misses": ...,
+                 "stores": ..., "hit_rate": ..., "directory": "..."}
     }
 """
 
@@ -47,17 +63,21 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from .. import cache as repro_cache
 from .. import instrumentation
 from ..autoopt import auto_optimize
 from ..codegen import compile_sdfg
+from ..config import Config
 from ..perf import geomean, measure
 from ..runtime.executor import run_sdfg
 from . import registry
 
-__all__ = ["profile_benchmark", "profile_corpus", "write_artifact", "main"]
+__all__ = ["profile_benchmark", "profile_corpus", "write_artifact",
+           "check_against_baseline", "main"]
 
-SCHEMA = "repro-bench-cpu/1"
+SCHEMA = "repro-bench-cpu/2"
 DEFAULT_OUTPUT = "BENCH_cpu.json"
+DEFAULT_BASELINE = "benchmarks/BENCH_baseline.json"
 
 #: the CI subset: structurally diverse, fast at the test size class
 CI_SUBSET = ["gemm", "jacobi_1d", "atax", "bicg", "mvt"]
@@ -75,16 +95,40 @@ def profile_benchmark(bench, size: str = "test", repetitions: int = 3,
 
     Raises on failure — the caller decides how to record it.
     """
-    # --- compilation, instrumented: per-pass decomposition (Fig. 6) ------
+    # --- compilation, instrumented: per-pass decomposition (Fig. 6), with
+    # the cache bypassed so this is the true cold pipeline cost ------------
     with instrumentation.profile(bench.name) as coll:
         start = time.perf_counter()
         sdfg = _sdfg_for(bench, size)
         opt = sdfg.clone()
         auto_optimize(opt, device="CPU")
-        compiled = compile_sdfg(opt)
+        compiled = compile_sdfg(opt, cache=False)
         compile_s = time.perf_counter() - start
     passes = {r.name: r.total_s
               for r in coll.report().by_category("pass")}
+
+    # --- warm path: the same artifact through the persistent cache -------
+    # First call populates (or hits the disk tier left by a previous
+    # process); the timed second call is a guaranteed hit, so the pair is
+    # the cold/warm compile decomposition of the "heavy traffic" scenario.
+    compile_warm_s = None
+    cache_populate = "off"
+    if Config.get("cache.enabled"):
+        before = repro_cache.stats()
+        counts = (before.memory_hits, before.disk_hits, before.misses)
+        repro_cache.cached_compile(sdfg, device="CPU", optimize="CPU")
+        after = repro_cache.stats()
+        if after.misses > counts[2]:
+            cache_populate = "miss"
+        elif after.disk_hits > counts[1]:
+            cache_populate = "hit-disk"
+        else:
+            cache_populate = "hit-memory"
+        warm_start = time.perf_counter()
+        warm_compiled = repro_cache.cached_compile(sdfg, device="CPU",
+                                                   optimize="CPU")
+        compile_warm_s = time.perf_counter() - warm_start
+        assert warm_compiled is not None
 
     def fresh():
         return (), bench.arguments(size)
@@ -106,6 +150,11 @@ def profile_benchmark(bench, size: str = "test", repetitions: int = 3,
         "interpreter_speedup": (numpy_m.median / interp_m.median
                                 if interp_m.median > 0 else 0.0),
         "compile_s": compile_s,
+        "compile_cold_s": compile_s,
+        "compile_warm_s": compile_warm_s,
+        "compile_warm_speedup": (compile_s / compile_warm_s
+                                 if compile_warm_s else 0.0),
+        "cache_populate": cache_populate,
         "passes": passes,
     }
     return entry
@@ -120,6 +169,7 @@ def profile_corpus(size: str = "test", names: Optional[List[str]] = None,
     else:
         benches = registry.all_benchmarks()
 
+    cache_before = repro_cache.stats().to_dict()
     benchmarks: Dict[str, Dict[str, object]] = {}
     failures: Dict[str, str] = {}
     for bench in benches:
@@ -140,6 +190,18 @@ def profile_corpus(size: str = "test", names: Optional[List[str]] = None,
 
     speedups = [e["speedup"] for e in benchmarks.values()]
     interp_speedups = [e["interpreter_speedup"] for e in benchmarks.values()]
+    warm_speedups = [e["compile_warm_speedup"] for e in benchmarks.values()
+                     if e.get("compile_warm_speedup")]
+    cache_now = repro_cache.stats()
+    cache_section = {k: cache_now.to_dict()[k] - cache_before.get(k, 0)
+                     for k in ("memory_hits", "disk_hits", "misses",
+                               "stores", "invalidations", "evictions",
+                               "hits")}
+    lookups = cache_section["hits"] + cache_section["misses"]
+    cache_section["hit_rate"] = (cache_section["hits"] / lookups
+                                 if lookups else 0.0)
+    cache_section["enabled"] = bool(Config.get("cache.enabled"))
+    cache_section["directory"] = repro_cache.default_directory()
     return {
         "schema": SCHEMA,
         "created_utc": datetime.datetime.now(
@@ -152,7 +214,69 @@ def profile_corpus(size: str = "test", names: Optional[List[str]] = None,
         "failures": failures,
         "geomean_speedup": geomean(speedups),
         "geomean_interpreter_speedup": geomean(interp_speedups),
+        "geomean_compile_warm_speedup": geomean(warm_speedups),
+        "compile_cold_total_s": sum(e["compile_cold_s"]
+                                    for e in benchmarks.values()),
+        "compile_warm_total_s": sum(e["compile_warm_s"] or 0.0
+                                    for e in benchmarks.values()),
+        "cache": cache_section,
     }
+
+
+# ---------------------------------------------------------------------------
+# the CI perf-regression gate
+# ---------------------------------------------------------------------------
+
+def check_against_baseline(result: Dict[str, object],
+                           baseline: Dict[str, object],
+                           tolerance: float = 0.25,
+                           compile_tolerance: float = 1.0) -> List[str]:
+    """Compare a fresh profile against a committed baseline.
+
+    Returns a list of human-readable regression descriptions (empty when the
+    gate passes).  Checks, in order:
+
+    * every benchmark measured in the baseline still measures (a new failure
+      is always a regression),
+    * the corpus geomean speedups (compiled and interpreter vs. NumPy) have
+      not dropped by more than *tolerance* (relative),
+    * the corpus cold compile-time total has not grown by more than
+      *compile_tolerance* (relative; wall-clock totals are noisier across
+      machines than same-machine speedup ratios, hence the separate, looser
+      knob).
+    """
+    problems: List[str] = []
+    base_benchmarks = dict(baseline.get("benchmarks", {}))
+    new_benchmarks = dict(result.get("benchmarks", {}))
+
+    missing = sorted(set(base_benchmarks) - set(new_benchmarks))
+    for name in missing:
+        reason = result.get("failures", {}).get(name, "not measured")
+        problems.append(f"benchmark {name!r} in baseline but absent from "
+                        f"this run ({reason})")
+
+    for metric in ("geomean_speedup", "geomean_interpreter_speedup"):
+        base = float(baseline.get(metric) or 0.0)
+        new = float(result.get(metric) or 0.0)
+        if base > 0 and new < base * (1.0 - tolerance):
+            problems.append(
+                f"{metric} regressed: {new:.3f} < {base:.3f} "
+                f"* (1 - {tolerance:.2f}) = {base * (1 - tolerance):.3f}")
+
+    common = sorted(set(base_benchmarks) & set(new_benchmarks))
+    base_compile = sum(float(base_benchmarks[n].get("compile_cold_s",
+                             base_benchmarks[n].get("compile_s", 0.0)))
+                       for n in common)
+    new_compile = sum(float(new_benchmarks[n].get("compile_cold_s",
+                            new_benchmarks[n].get("compile_s", 0.0)))
+                      for n in common)
+    if base_compile > 0 and new_compile > base_compile * (1.0 + compile_tolerance):
+        problems.append(
+            f"compile-time total regressed: {new_compile:.3f}s > "
+            f"{base_compile:.3f}s * (1 + {compile_tolerance:.2f}) = "
+            f"{base_compile * (1 + compile_tolerance):.3f}s "
+            f"over {len(common)} common benchmark(s)")
+    return problems
 
 
 def write_artifact(result: Dict[str, object],
@@ -181,6 +305,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: 3)")
     parser.add_argument("--list", action="store_true",
                         help="list corpus benchmark names and exit")
+    parser.add_argument("--warm", type=int, default=0, metavar="JOBS",
+                        help="warm the compilation cache first across JOBS "
+                             "processes (0: skip)")
+    parser.add_argument("--check", default="", metavar="BASELINE",
+                        help="perf-regression gate: compare against a "
+                             "baseline BENCH_cpu.json and exit non-zero on "
+                             "regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative geomean-speedup drop for "
+                             "--check (default: 0.25)")
+    parser.add_argument("--compile-tolerance", type=float, default=1.0,
+                        help="allowed relative compile-time-total growth "
+                             "for --check (default: 1.0; wall-clock totals "
+                             "are noisier across machines)")
+    parser.add_argument("--update-baseline", nargs="?", const=DEFAULT_BASELINE,
+                        default="", metavar="PATH",
+                        help=f"also write the artifact as the committed "
+                             f"baseline (default path: {DEFAULT_BASELINE})")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -194,6 +336,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.benchmarks:
         names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
 
+    if args.warm:
+        from ..cache.warm import warm_corpus
+
+        summary = warm_corpus(names=names, size=args.size, jobs=args.warm)
+        print(f"cache warm-up: {summary['warmed']}/"
+              f"{len(summary['results'])} benchmark(s) in "
+              f"{summary['wall_seconds']:.2f}s across {summary['jobs']} "
+              f"job(s) (hits={summary['hits']} misses={summary['misses']})")
+
     print(f"profiling {len(names) if names else 'all'} benchmark(s) "
           f"at size class {args.size!r}...")
     result = profile_corpus(size=args.size, names=names,
@@ -205,8 +356,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"geomean speedup over NumPy: compiled "
           f"{result['geomean_speedup']:.3f}x, interpreter "
           f"{result['geomean_interpreter_speedup']:.3f}x")
+    if result.get("geomean_compile_warm_speedup"):
+        print(f"compile cold {result['compile_cold_total_s']:.3f}s vs warm "
+              f"{result['compile_warm_total_s']:.3f}s "
+              f"(geomean {result['geomean_compile_warm_speedup']:.1f}x; "
+              f"cache hit rate {result['cache']['hit_rate']:.2f})")
     print(f"wrote {path}")
-    return 0 if ok else 1
+    if not ok:
+        return 1
+
+    if args.update_baseline:
+        write_artifact(result, args.update_baseline)
+        print(f"updated baseline {args.update_baseline}")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        problems = check_against_baseline(
+            result, baseline, tolerance=args.tolerance,
+            compile_tolerance=args.compile_tolerance)
+        if problems:
+            print(f"\nPERF GATE FAILED against {args.check}:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"perf gate passed against {args.check} "
+              f"(tolerance {args.tolerance:.2f}, compile tolerance "
+              f"{args.compile_tolerance:.2f})")
+    return 0
 
 
 if __name__ == "__main__":

@@ -4,12 +4,17 @@ A :class:`CompiledSDFG` bundles the generated specialized module with the
 calling convention.  Compilation time (frontend + optimization already done
 by the caller + module generation + ``compile()``) is recorded for the
 paper's Fig. 6 experiment.
+
+Construction has two paths: the cold path validates the SDFG and generates
+the module, while :meth:`CompiledSDFG.from_cached` rehydrates ``_run`` from
+cached source (see :mod:`repro.cache`) and skips both validation and code
+generation — the graph was validated when the entry was created.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from .. import instrumentation
 from ..runtime.executor import collect_return, prepare_arguments
@@ -28,25 +33,55 @@ class CompiledSDFG:
     """
 
     def __init__(self, sdfg, device: str = "CPU", instrument: bool = False,
-                 sanitize: bool = False):
-        from .pygen import generate_module
+                 sanitize: bool = False, validate: bool = True):
+        from .pygen import generate_payload
 
         self.sdfg = sdfg
         self.device = device
         self.instrumented = instrument
         self.sanitized = sanitize
-        start = time.perf_counter()
-        sdfg.validate()
-        self._run, self.source = generate_module(sdfg, instrument=instrument,
-                                                 sanitize=sanitize)
-        self.codegen_seconds = time.perf_counter() - start
+        #: True when rehydrated from the compilation cache
+        self.from_cache = False
         coll = instrumentation._ACTIVE
+        self.validate_seconds = 0.0
+        if validate:
+            start = time.perf_counter()
+            sdfg.validate()
+            self.validate_seconds = time.perf_counter() - start
+            if coll is not None:
+                coll.add("phase", "validate", self.validate_seconds)
+        start = time.perf_counter()
+        self._run, self.source, self.closure_specs = generate_payload(
+            sdfg, instrument=instrument, sanitize=sanitize)
+        self.codegen_seconds = time.perf_counter() - start
         if coll is not None:
             coll.add("phase", "codegen", self.codegen_seconds)
         #: state-index -> visit count from the most recent execution
         #: (consumed by the device performance models)
         self.last_state_visits: Dict[int, int] = {}
         self.last_symbols: Dict[str, int] = {}
+
+    @classmethod
+    def from_cached(cls, sdfg, run, source: str,
+                    closure_specs: Optional[Dict[str, Tuple[int, int]]] = None,
+                    device: str = "CPU", instrument: bool = False,
+                    sanitize: bool = False) -> "CompiledSDFG":
+        """Wrap an already-rehydrated module (cache hit): no validation, no
+        code generation."""
+        obj = cls.__new__(cls)
+        obj.sdfg = sdfg
+        obj.device = device
+        obj.instrumented = instrument
+        obj.sanitized = sanitize
+        obj.from_cache = True
+        obj.validate_seconds = 0.0
+        obj._run = run
+        obj.source = source
+        obj.closure_specs = dict(closure_specs or {})
+        obj.codegen_seconds = 0.0
+        obj.last_state_visits = {}
+        obj.last_symbols = {}
+        return obj
 
     def __call__(self, *args, **kwargs):
         containers, symbols = prepare_arguments(self.sdfg, args, kwargs)
@@ -65,7 +100,23 @@ class CompiledSDFG:
 
 
 def compile_sdfg(sdfg, device: str = "CPU", instrument: bool = False,
-                 sanitize: bool = False) -> CompiledSDFG:
-    """Compile an SDFG into an executable specialized module."""
+                 sanitize: bool = False,
+                 cache: Optional[bool] = None) -> CompiledSDFG:
+    """Compile an SDFG into an executable specialized module.
+
+    When the compilation cache is enabled (``cache.enabled``; override with
+    the *cache* argument) the content-addressed cache is consulted first and
+    a hit rehydrates the module from cached source instead of re-generating
+    it (see :mod:`repro.cache`).
+    """
+    if cache is None:
+        from ..config import Config
+
+        cache = bool(Config.get("cache.enabled"))
+    if cache:
+        from ..cache import cached_compile
+
+        return cached_compile(sdfg, device=device, instrument=instrument,
+                              sanitize=sanitize)
     return CompiledSDFG(sdfg, device=device, instrument=instrument,
                         sanitize=sanitize)

@@ -32,7 +32,8 @@ from ..symbolic import Expr, Integer, Range, definitely_eq
 from .support import (Max, Min, align_axes, dim_length, make_slice,
                       store_aligned, wcr_store)
 
-__all__ = ["generate_module", "affine_decompose"]
+__all__ = ["generate_module", "generate_payload", "rehydrate_module",
+           "affine_decompose"]
 
 
 def affine_decompose(expr: Expr, params: Sequence[str]):
@@ -182,6 +183,9 @@ class _Generator:
         self.sanitize = sanitize
         self.lines: List[str] = []
         self.closures: Dict[str, object] = {}
+        #: closure name -> (state, node) behind each interpreter-fallback
+        #: runner, so a cached module can rebuild them after rehydration
+        self.closure_nodes: Dict[str, tuple] = {}
         self._uid = 0
         self._indent = 2
 
@@ -276,19 +280,9 @@ class _Generator:
     # ------------------------------------------------------ fallback closures
     def node_fallback(self, state, node) -> None:
         """Emit a call into the reference interpreter for one node."""
-        from ..runtime import executor as ex
-
         name = f"__node{self.uid()}"
-        sdfg = self.sdfg
-
-        def runner(containers, env, _state=state, _node=node):
-            symbols = {k: v for k, v in env.items()
-                       if isinstance(v, (int, np.integer)) and k not in sdfg.arrays}
-            ctx = ex._Context(sdfg, containers, symbols)
-            order = _build_scope_order(_state)
-            ex._execute_level(ctx, _state, [_node], dict(symbols), order)
-
-        self.closures[name] = runner
+        self.closures[name] = _make_node_runner(self.sdfg, state, node)
+        self.closure_nodes[name] = (state, node)
         self.emit(f"{name}(__c, locals())")
 
     # ------------------------------------------------------------ tasklets
@@ -741,12 +735,15 @@ def _build_scope_order(state):
 # Module assembly
 # ---------------------------------------------------------------------------
 
-def generate_module(sdfg, instrument: bool = False,
-                    sanitize: bool = False) -> Tuple[object, str]:
+def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False
+                     ) -> Tuple[object, str, Dict[str, Tuple[int, int]]]:
     """Generate the specialized module for an SDFG.
 
-    Returns ``(run_callable, source)``: the callable takes
-    ``(containers, symbols)`` and executes the program.
+    Returns ``(run_callable, source, closure_specs)``: the callable takes
+    ``(containers, symbols)`` and executes the program; *closure_specs* maps
+    interpreter-fallback closure names to positional ``(state, node)``
+    indices so :func:`rehydrate_module` can rebuild the callable from cached
+    source without re-generating it.
 
     With ``instrument=True`` the module carries per-state and per-map-scope
     timing hooks that report to :mod:`repro.instrumentation`; with
@@ -818,11 +815,73 @@ def generate_module(sdfg, instrument: bool = False,
         lines.append("            __state = -1; continue")
 
     source = "\n".join(lines) + "\n"
+    run = _exec_module(sdfg, source, gen.closures, instrument=instrument,
+                       sanitize=sanitize)
+    return run, source, _closure_specs(sdfg, gen.closure_nodes)
 
-    # execution namespace
+
+def generate_module(sdfg, instrument: bool = False,
+                    sanitize: bool = False) -> Tuple[object, str]:
+    """Generate the specialized module for an SDFG.
+
+    Returns ``(run_callable, source)``; see :func:`generate_payload` for the
+    variant that also reports the closure specification needed to cache the
+    module on disk.
+    """
+    run, source, _ = generate_payload(sdfg, instrument=instrument,
+                                      sanitize=sanitize)
+    return run, source
+
+
+def rehydrate_module(sdfg, source: str, closure_specs: Dict[str, Sequence[int]],
+                     instrument: bool = False, sanitize: bool = False):
+    """Rebuild a module's ``run`` callable from cached *source* without
+    re-running code generation.
+
+    *sdfg* must be (a deserialized copy of) the SDFG the source was generated
+    from; *closure_specs* maps interpreter-fallback closure names to
+    ``(state_index, node_index)`` pairs (indices into ``sdfg.states()`` /
+    ``state.nodes()``) recorded by :func:`generate_payload`.
+    """
+    closures: Dict[str, object] = {}
+    states = sdfg.states()
+    for name, (state_idx, node_idx) in (closure_specs or {}).items():
+        state = states[state_idx]
+        node = state.nodes()[node_idx]
+        closures[name] = _make_node_runner(sdfg, state, node)
+    return _exec_module(sdfg, source, closures, instrument=instrument,
+                        sanitize=sanitize)
+
+
+def _make_node_runner(sdfg, state, node):
+    """An interpreter-fallback runner executing one node of one state."""
+    from ..runtime import executor as ex
+
+    def runner(containers, env, _state=state, _node=node):
+        symbols = {k: v for k, v in env.items()
+                   if isinstance(v, (int, np.integer)) and k not in sdfg.arrays}
+        ctx = ex._Context(sdfg, containers, symbols)
+        order = _build_scope_order(_state)
+        ex._execute_level(ctx, _state, [_node], dict(symbols), order)
+
+    return runner
+
+
+def _closure_specs(sdfg, closure_nodes: Dict[str, tuple]) -> Dict[str, Tuple[int, int]]:
+    """Positional (state_index, node_index) form of the fallback closures,
+    stable across serialize/deserialize round-trips."""
+    states = sdfg.states()
+    state_index = {s: i for i, s in enumerate(states)}
+    specs: Dict[str, Tuple[int, int]] = {}
+    for name, (state, node) in closure_nodes.items():
+        specs[name] = (state_index[state], state.nodes().index(node))
+    return specs
+
+
+def _exec_module(sdfg, source: str, closures: Dict[str, object],
+                 instrument: bool, sanitize: bool):
+    """Exec generated *source* in its execution namespace; return ``__run``."""
     import math as _math
-
-    from collections import deque as _deque
 
     from ..runtime.executor import allocate_container
 
@@ -840,7 +899,7 @@ def generate_module(sdfg, instrument: bool = False,
         "abs": abs, "min": min, "max": max, "int": int, "float": float,
         "bool": bool, "len": len, "range": range, "slice": slice,
     }
-    namespace.update(gen.closures)
+    namespace.update(closures)
 
     if instrument:
         import time as _time
@@ -873,5 +932,4 @@ def generate_module(sdfg, instrument: bool = False,
     namespace["__alloc_shaped"] = _alloc_shaped
     compiled = compile(source, f"<sdfg {sdfg.name}>", "exec")
     exec(compiled, namespace)
-    run = namespace["__run"]
-    return run, source
+    return namespace["__run"]

@@ -18,6 +18,11 @@ _DEFAULTS: Dict[str, Any] = {
     "optimizer.stack_array_limit": 64,       # elements; below -> "stack" storage
     # Instrumentation (see repro.instrumentation)
     "instrument.mode": "off",                # "off" | "timers"
+    # Compilation cache (see repro.cache and DESIGN.md §9)
+    "cache.enabled": True,                   # content-addressed compile cache
+    "cache.dir": "",                         # "" -> $REPRO_CACHE_DIR -> ~/.cache/repro
+    "cache.max_bytes": 256 * 1024 * 1024,    # on-disk LRU budget
+    "cache.memory_entries": 128,             # in-memory LRU entry cap
     # Sanitizer (see repro.sanitizer and DESIGN.md §8)
     "sanitize.mode": "off",                  # "off" | "bounds" | "nan" | "bounds,nan"
     "sanitize.check_transforms": True,       # static race/bounds gate on passes

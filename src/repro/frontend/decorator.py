@@ -186,11 +186,16 @@ class DaceProgram:
         separately from the plain module); ``sanitize=True`` one with
         bounds/NaN guard calls (``sanitize=None`` defers to the program's
         resolved sanitizer mode).  When a profile collector is active, the
-        compile phases (parse, autoopt, codegen) report their wall time to
-        it — the Fig. 6 decomposition.
+        compile phases (parse, autoopt, validate, codegen) report their wall
+        time to it — the Fig. 6 decomposition.
+
+        Compilation is keyed through the persistent content-addressed cache
+        (:mod:`repro.cache`): a hit — even in a fresh process — rehydrates
+        the generated module and skips optimization, validation, and code
+        generation.
         """
         from .. import instrumentation
-        from ..codegen import compile_sdfg
+        from ..cache import cached_compile
 
         device = device or self.device
         coll = instrumentation.current()
@@ -205,15 +210,9 @@ class DaceProgram:
                self.auto_optimize, instrument, sanitize)
         if key in self._compiled_cache:
             return self._compiled_cache[key]
-        if self.auto_optimize:
-            sdfg = sdfg.clone()
-            if coll is not None:
-                with coll.region("phase", "autoopt"):
-                    sdfg.auto_optimize(device=device)
-            else:
-                sdfg.auto_optimize(device=device)
-        compiled = compile_sdfg(sdfg, device=device, instrument=instrument,
-                                sanitize=sanitize)
+        compiled = cached_compile(
+            sdfg, device=device, instrument=instrument, sanitize=sanitize,
+            optimize=device if self.auto_optimize else None)
         self._compiled_cache[key] = compiled
         return compiled
 

@@ -48,7 +48,7 @@ __all__ = [
 
 #: known region categories (free-form strings are accepted; these are the
 #: ones the built-in hooks emit)
-CATEGORIES = ("state", "map", "library", "pass", "phase", "attempt")
+CATEGORIES = ("state", "map", "library", "pass", "phase", "cache", "attempt")
 
 #: the active collector; ``None`` means instrumentation is off (the single
 #: check every hot path performs)

@@ -139,6 +139,9 @@ class MapEntry(CodeNode):
             "params": list(self.map.params),
             "range": str(self.map.range),
             "schedule": self.map.schedule.value,
+            "collapse": self.map.collapse,
+            "tile_sizes": (list(self.map.tile_sizes)
+                           if self.map.tile_sizes else None),
         })
         return obj
 

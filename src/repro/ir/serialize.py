@@ -22,6 +22,22 @@ from ..symbolic import Range
 __all__ = ["sdfg_from_json", "state_from_json"]
 
 
+def _parse_symbol_mapping(obj: Dict[str, str]) -> Dict[str, object]:
+    """Parse serialized nested-SDFG symbol bindings back to expressions.
+
+    Values were stringified on serialization; anything the expression parser
+    cannot digest stays a string (the executor resolves bare names in the
+    outer environment at call time).
+    """
+    mapping: Dict[str, object] = {}
+    for name, text in obj.items():
+        try:
+            mapping[name] = Range.from_string(str(text)).dims[0][0]
+        except Exception:
+            mapping[name] = text
+    return mapping
+
+
 def sdfg_from_json(obj: dict) -> SDFG:
     sdfg = SDFG(obj["name"])
     for name, desc_obj in obj["arrays"].items():
@@ -58,6 +74,9 @@ def state_from_json(state: SDFGState, obj: dict) -> SDFGState:
                 node_obj["label"], node_obj["params"],
                 Range.from_string(node_obj["range"]),
                 ScheduleType(node_obj.get("schedule", "Default")))
+            entry.map.collapse = node_obj.get("collapse", 1)
+            tile_sizes = node_obj.get("tile_sizes")
+            entry.map.tile_sizes = tuple(tile_sizes) if tile_sizes else None
             pending_exits[node_obj["label"]] = (entry, exit_)
             node = entry
         elif kind == "MapExit":
@@ -66,7 +85,9 @@ def state_from_json(state: SDFGState, obj: dict) -> SDFGState:
         elif kind == "NestedSDFG":
             node = NestedSDFG(node_obj["label"],
                               sdfg_from_json(node_obj["sdfg"]),
-                              node_obj["inputs"], node_obj["outputs"])
+                              node_obj["inputs"], node_obj["outputs"],
+                              symbol_mapping=_parse_symbol_mapping(
+                                  node_obj.get("symbol_mapping", {})))
         else:
             raise ValueError(
                 f"cannot deserialize node kind {kind!r} (library nodes must "

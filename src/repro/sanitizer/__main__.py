@@ -115,9 +115,22 @@ def main(argv=None) -> int:
     parser.add_argument("--device", default="CPU")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"verdict JSON path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--warm", type=int, default=0, metavar="JOBS",
+                        help="warm the compilation cache first across JOBS "
+                             "processes (0: skip) so oracle tiers start "
+                             "from cached artifacts")
     args = parser.parse_args(argv)
 
     names = _select(args.corpus)
+    if args.warm:
+        from ..cache.warm import warm_corpus
+
+        summary = warm_corpus(names=names, size=args.size,
+                              device=args.device, jobs=args.warm)
+        print(f"[sanitize] cache warm-up: {summary['warmed']}/"
+              f"{len(summary['results'])} benchmark(s) in "
+              f"{summary['wall_seconds']:.2f}s across {summary['jobs']} "
+              f"job(s)", file=sys.stderr)
     programs: Dict[str, object] = {}
     failures: Dict[str, str] = {}
     for name in names:
