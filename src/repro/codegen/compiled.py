@@ -85,8 +85,20 @@ class CompiledSDFG:
 
     def __call__(self, *args, **kwargs):
         containers, symbols = prepare_arguments(self.sdfg, args, kwargs)
+        return self.run_prepared(containers, symbols)
+
+    def run_prepared(self, containers: Dict, symbols: Dict,
+                     start_state: Optional[int] = None):
+        """Execute with already-bound containers/symbols, optionally resuming
+        at a state-machine index (checkpoint/restart, DESIGN.md §10).
+
+        ``start_state`` is an index into ``sdfg.topological_states()`` — the
+        numbering the generated module and the distributed checkpointer
+        share.  Containers may include pre-populated transients (restored
+        from a snapshot); they are reused instead of zero-allocated.
+        """
         visits: Dict[int, int] = {}
-        self._run(containers, symbols, visits)
+        self._run(containers, symbols, visits, start_state)
         self.last_state_visits = visits
         self.last_symbols = dict(symbols)
         return collect_return(self.sdfg, containers)

@@ -756,10 +756,12 @@ def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False
     index = {s: i for i, s in enumerate(states)}
 
     lines = gen.lines
-    lines.append("def __run(__c, __s, __visits=None):")
+    lines.append("def __run(__c, __s, __visits=None, __start=None):")
     lines.append("    if __visits is None: __visits = {}")
     # containers: transients with entry-known shapes allocate up front;
-    # loop-symbol-dependent shapes (re)allocate in the states that use them
+    # loop-symbol-dependent shapes (re)allocate in the states that use them.
+    # A checkpoint resume passes pre-populated transients in __c — reuse
+    # them instead of zero-allocating.
     dynamic_transients = set()
     entry_syms = set(sdfg.free_symbols)
     for name, desc in sdfg.arrays.items():
@@ -767,7 +769,9 @@ def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False
             shape_syms = {s.name for s in desc.free_symbols}
             if shape_syms <= entry_syms:
                 lines.append(
-                    f"    {name} = __c[{name!r}] = __alloc({name!r}, __s)")
+                    f"    {name} = __c[{name!r}] = ("
+                    f"__c[{name!r}] if {name!r} in __c "
+                    f"else __alloc({name!r}, __s))")
             else:
                 dynamic_transients.add(name)
     for name, desc in sdfg.arrays.items():
@@ -780,8 +784,12 @@ def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False
     for name, value in sdfg.constants.items():
         lines.append(f"    {name} = __const[{name!r}]")
 
-    lines.append(f"    __state = {index.get(sdfg.start_state, 0)}")
+    lines.append(f"    __state = {index.get(sdfg.start_state, 0)} "
+                 "if __start is None else __start")
     lines.append("    while __state >= 0:")
+    # checkpoint/abort hook at every state boundary (a thread-local read
+    # when no distributed checkpointer is installed; see resilience.hooks)
+    lines.append("        __ckpt(__state, __c, __s)")
     lines.append("        __visits[__state] = __visits.get(__state, 0) + 1")
     for state in states:
         si = index[state]
@@ -810,7 +818,9 @@ def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False
                 lines.append(
                     f"                __a{i} = ({_deref_scalars(v_, sdfg)})")
             for i, (k_, v_) in enumerate(isedge.data.assignments.items()):
-                lines.append(f"                {k_} = __a{i}")
+                # write-through to the symbols dict keeps __s a faithful
+                # image of the live loop symbols (checkpoint capture/resume)
+                lines.append(f"                {k_} = __s[{k_!r}] = __a{i}")
             lines.append(f"                __state = {index[isedge.dst]}; continue")
         lines.append("            __state = -1; continue")
 
@@ -883,9 +893,11 @@ def _exec_module(sdfg, source: str, closures: Dict[str, object],
     """Exec generated *source* in its execution namespace; return ``__run``."""
     import math as _math
 
+    from ..resilience.hooks import state_boundary
     from ..runtime.executor import allocate_container
 
     namespace: Dict[str, object] = {
+        "__ckpt": state_boundary,
         "np": np,
         "math": _math,
         "make_slice": make_slice,

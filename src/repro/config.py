@@ -38,6 +38,13 @@ _DEFAULTS: Dict[str, Any] = {
     "resilience.send_retries": 3,            # eager-send retransmissions
     "resilience.retry_backoff_us": 10.0,     # virtual-clock backoff per retry
     "resilience.comm_timeout_s": 60.0,       # blocking-op deadlock timeout
+    # Distributed checkpoint/restart (repro.resilience.distributed, §10)
+    "resilience.ckpt_interval": 0,           # checkpoint every N state
+                                             # transitions (0 = off)
+    "resilience.ckpt_comm_ops": 0,           # ... or every K comm ops (0 = off)
+    "resilience.max_restarts": 3,            # supervised restart budget
+    "resilience.ckpt_dir": "",               # spill dir; "" -> $REPRO_CKPT_DIR
+                                             # -> in-memory only
     # Simulated device parameters (see repro.runtime.perfmodel)
     "gpu.kernel_launch_us": 6.0,
     "gpu.bandwidth_gbs": 790.0,              # V100-class HBM2

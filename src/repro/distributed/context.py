@@ -33,6 +33,11 @@ class DistContext:
     def size(self) -> int:
         return self.comm.size
 
+    @property
+    def epoch(self) -> int:
+        """Checkpoint epoch of the underlying world (0 before any restart)."""
+        return self.comm._world.epoch
+
 
 def current() -> Optional[DistContext]:
     return getattr(_tls, "ctx", None)

@@ -6,6 +6,14 @@ arrays (preserving the in-place calling convention); other ranks receive
 private copies, as each node of a real cluster would hold its own buffers.
 Returns the per-rank virtual clocks and communication statistics along with
 rank 0's result.
+
+Execution is routed through the checkpoint/restart supervisor
+(:mod:`repro.resilience.distributed`, DESIGN.md §10): with checkpointing
+enabled (``ckpt_interval``/``ckpt_comm_ops`` or the matching
+``resilience.*`` configuration keys) ranks snapshot at state boundaries,
+and recoverable rank failures — e.g. crashes injected through
+*fault_plan* — trigger a coordinated rollback-and-replay instead of
+aborting the run.
 """
 
 from __future__ import annotations
@@ -15,8 +23,9 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..simmpi.comm import run_spmd
+from ..resilience.distributed import RankSnapshot, run_spmd_supervised
 from ..simmpi.grid import ProcessGrid
+from ..simmpi.netmodel import FaultPlan, NetModel
 from . import context
 
 __all__ = ["run_distributed", "DistributedResult"]
@@ -30,6 +39,10 @@ class DistributedResult:
     clocks: List[float]              # per-rank virtual time (seconds)
     comm_stats: Dict[str, int]       # messages / bytes on the wire
     state_visits: Dict[int, int] = field(default_factory=dict)
+    per_rank_values: List[Any] = field(default_factory=list)
+    failed_ranks: List[int] = field(default_factory=list)   # recovered ranks
+    recovery_events: List[Any] = field(default_factory=list)
+    op_counts: List[int] = field(default_factory=list)      # per-rank comm ops
 
     @property
     def modeled_time(self) -> float:
@@ -37,15 +50,25 @@ class DistributedResult:
 
 
 def run_distributed(program, size: int, grid: Optional[ProcessGrid] = None,
-                    rank_args=None, **kwargs) -> DistributedResult:
+                    rank_args=None, fault_plan: Optional[FaultPlan] = None,
+                    net: Optional[NetModel] = None,
+                    timeout_s: Optional[float] = None,
+                    ckpt_interval: Optional[int] = None,
+                    ckpt_comm_ops: Optional[int] = None,
+                    max_restarts: Optional[int] = None,
+                    **kwargs) -> DistributedResult:
     """Run *program* (a DaceProgram or SDFG) on *size* simulated ranks.
 
     ``rank_args(rank, grid) -> dict`` supplies per-rank symbol/argument
     values (e.g. the boundary offsets of the paper's explicit jacobi_2d).
+    *fault_plan* injects communication faults and rank crashes;
+    *ckpt_interval* / *ckpt_comm_ops* / *max_restarts* override the
+    ``resilience.*`` checkpointing keys for this run.
     """
     from ..codegen import compile_sdfg
     from ..frontend.decorator import DaceProgram
     from ..ir.sdfg import SDFG
+    from ..runtime.executor import prepare_arguments
 
     if isinstance(program, DaceProgram):
         sdfg = program.to_sdfg()
@@ -58,7 +81,17 @@ def run_distributed(program, size: int, grid: Optional[ProcessGrid] = None,
     grid_obj = grid or ProcessGrid(size)
     visits_holder: Dict[int, int] = {}
 
-    def rank_fn(comm):
+    # a restart without a committed checkpoint replays from the initial
+    # inputs; rank 0 mutates the caller's arrays in place, so keep pristine
+    # copies to roll them back
+    pristine = {name: np.copy(value) for name, value in kwargs.items()
+                if isinstance(value, np.ndarray)}
+
+    def reset() -> None:
+        for name, copy_ in pristine.items():
+            np.copyto(kwargs[name], copy_)
+
+    def rank_fn(comm, snapshot: Optional[RankSnapshot]):
         context.set_current(context.DistContext(comm, grid_obj))
         try:
             local_kwargs = {}
@@ -77,12 +110,30 @@ def run_distributed(program, size: int, grid: Optional[ProcessGrid] = None,
                 local_kwargs.setdefault("__GR0", grid_obj.dims[0])
             if "__GR1" in free:
                 local_kwargs.setdefault("__GR1", grid_obj.dims[1])
-            result = compiled(**local_kwargs)
+            containers, symbols = prepare_arguments(
+                compiled.sdfg, (), local_kwargs)
+            start_state = None
+            if snapshot is not None:
+                # resume from the checkpoint boundary: restore container
+                # contents in place (rank 0 keeps the caller's buffers) and
+                # rebind symbols, including interstate loop variables
+                start_state = snapshot.state_index
+                snapshot.restore_into(containers)
+                symbols.update(snapshot.symbols)
+            result = compiled.run_prepared(containers, symbols,
+                                           start_state=start_state)
             if comm.rank == 0:
                 visits_holder.update(compiled.last_state_visits)
             return result
         finally:
             context.set_current(None)
 
-    results, clocks, stats = run_spmd(rank_fn, size)
-    return DistributedResult(results[0], clocks, stats, visits_holder)
+    run = run_spmd_supervised(
+        rank_fn, size, net=net, fault_plan=fault_plan, timeout_s=timeout_s,
+        ckpt_interval=ckpt_interval, ckpt_comm_ops=ckpt_comm_ops,
+        max_restarts=max_restarts, reset=reset)
+    return DistributedResult(
+        value=run.results[0], clocks=run.clocks, comm_stats=run.comm_stats,
+        state_visits=visits_holder, per_rank_values=list(run.results),
+        failed_ranks=run.failed_ranks, recovery_events=run.recovery_events,
+        op_counts=run.op_counts)

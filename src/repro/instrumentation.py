@@ -48,7 +48,8 @@ __all__ = [
 
 #: known region categories (free-form strings are accepted; these are the
 #: ones the built-in hooks emit)
-CATEGORIES = ("state", "map", "library", "pass", "phase", "cache", "attempt")
+CATEGORIES = ("state", "map", "library", "pass", "phase", "cache", "attempt",
+              "recovery")
 
 #: the active collector; ``None`` means instrumentation is off (the single
 #: check every hot path performs)

@@ -1,0 +1,48 @@
+"""CLI for the resilience layer: ``python -m repro.resilience chaos``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Resilience tooling for the data-centric toolbox.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized rank-crash sweep over the distributed corpus")
+    chaos.add_argument("--seeds", type=int, default=8,
+                       help="crash plans per corpus program (default 8)")
+    chaos.add_argument("--cases", default=None,
+                       help="comma-separated subset (jacobi,pgemm,pgemv)")
+    chaos.add_argument("--ckpt-interval", type=int, default=2,
+                       help="checkpoint every N state transitions")
+    chaos.add_argument("--ckpt-comm-ops", type=int, default=0,
+                       help="also checkpoint every K comm ops (0 = off)")
+    chaos.add_argument("--max-restarts", type=int, default=3)
+    chaos.add_argument("--timeout", type=float, default=30.0,
+                       help="per-operation deadlock timeout (seconds)")
+    chaos.add_argument("--out", default="CHAOS.json")
+    chaos.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.command == "chaos":
+        from .chaos import chaos_sweep
+
+        names = args.cases.split(",") if args.cases else None
+        report = chaos_sweep(
+            seeds=args.seeds, ckpt_interval=args.ckpt_interval,
+            ckpt_comm_ops=args.ckpt_comm_ops,
+            max_restarts=args.max_restarts, timeout_s=args.timeout,
+            out=args.out, case_names=names, verbose=not args.quiet)
+        summary = report["summary"]
+        return 1 if (summary["unrecovered"] or summary["diverged"]) else 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

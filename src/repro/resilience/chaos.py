@@ -1,0 +1,266 @@
+"""Chaos sweep: randomized rank-crash plans over the distributed corpus.
+
+``python -m repro.resilience chaos`` runs each corpus program (the paper's
+explicit jacobi_2d, the transformed pgemm pipeline, and the pgemv-based
+atax) once fault-free, then under seeded single-crash
+:class:`~repro.simmpi.netmodel.FaultPlan`\\ s with checkpointing enabled.
+Every trial must (a) recover — the supervisor replays from the last
+consistent checkpoint and the run completes — and (b) produce outputs
+tolerance-equal to the fault-free run: replay from a consistent cut is
+deterministic, so divergence indicates a broken snapshot/restore path.
+
+Results are written to ``CHAOS.json`` (schema ``repro-chaos/1``); the
+sweep exits non-zero if any recoverable plan goes unrecovered or any
+recovered run diverges.
+"""
+
+# NOTE: no `from __future__ import annotations` here — it would stringify
+# the @repro.program parameter annotations before the frontend reads them.
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro
+import repro.comm
+from ..simmpi.netmodel import FaultPlan
+
+__all__ = ["ChaosCase", "CASES", "chaos_sweep", "SCHEMA"]
+
+SCHEMA = "repro-chaos/1"
+
+# tolerance for faulted-vs-fault-free comparison: replay is deterministic,
+# so anything beyond accumulated float noise is a real divergence
+RTOL, ATOL = 1e-10, 1e-12
+
+# -- corpus programs ---------------------------------------------------------
+
+_N = repro.symbol("N")
+_lNx = repro.symbol("lNx")
+_lNy = repro.symbol("lNy")
+_noff = repro.symbol("noff")
+_soff = repro.symbol("soff")
+_woff = repro.symbol("woff")
+_eoff = repro.symbol("eoff")
+_NI = repro.symbol("NI")
+_NJ = repro.symbol("NJ")
+_NK = repro.symbol("NK")
+_M = repro.symbol("M")
+_Nv = repro.symbol("Nv")
+
+
+@repro.program
+def _j2d_chaos(TSTEPS: repro.int32, A: repro.float64[_N, _N],
+               B: repro.float64[_N, _N]):
+    lA = np.zeros((_lNx + 2, _lNy + 2))
+    lB = np.zeros((_lNx + 2, _lNy + 2))
+    lA[1:-1, 1:-1] = repro.comm.BlockScatter(A, (_lNx, _lNy))
+    lB[1:-1, 1:-1] = repro.comm.BlockScatter(B, (_lNx, _lNy))
+    for t in range(1, TSTEPS):
+        repro.comm.HaloExchange(lA)
+        lB[1 + _noff:_lNx + 1 - _soff, 1 + _woff:_lNy + 1 - _eoff] = 0.2 * (
+            lA[1 + _noff:_lNx + 1 - _soff, 1 + _woff:_lNy + 1 - _eoff]
+            + lA[1 + _noff:_lNx + 1 - _soff, _woff:_lNy - _eoff]
+            + lA[1 + _noff:_lNx + 1 - _soff, 2 + _woff:_lNy + 2 - _eoff]
+            + lA[2 + _noff:_lNx + 2 - _soff, 1 + _woff:_lNy + 1 - _eoff]
+            + lA[_noff:_lNx - _soff, 1 + _woff:_lNy + 1 - _eoff])
+        repro.comm.HaloExchange(lB)
+        lA[1 + _noff:_lNx + 1 - _soff, 1 + _woff:_lNy + 1 - _eoff] = 0.2 * (
+            lB[1 + _noff:_lNx + 1 - _soff, 1 + _woff:_lNy + 1 - _eoff]
+            + lB[1 + _noff:_lNx + 1 - _soff, _woff:_lNy - _eoff]
+            + lB[1 + _noff:_lNx + 1 - _soff, 2 + _woff:_lNy + 2 - _eoff]
+            + lB[2 + _noff:_lNx + 2 - _soff, 1 + _woff:_lNy + 1 - _eoff]
+            + lB[_noff:_lNx - _soff, 1 + _woff:_lNy + 1 - _eoff])
+    A[:] = repro.comm.BlockGather(lA[1:-1, 1:-1], (_N, _N))
+    B[:] = repro.comm.BlockGather(lB[1:-1, 1:-1], (_N, _N))
+
+
+@repro.program
+def _gemm_chaos(alpha: repro.float64, beta: repro.float64,
+                C: repro.float64[_NI, _NJ], A: repro.float64[_NI, _NK],
+                B: repro.float64[_NK, _NJ]):
+    C[:] = alpha * A @ B + beta * C
+
+
+@repro.program
+def _atax_chaos(A: repro.float64[_M, _Nv], x: repro.float64[_Nv],
+                y: repro.float64[_Nv]):
+    y[:] = (A @ x) @ A
+
+
+def _jacobi_offsets(rank, grid):
+    nb = grid.neighbors(rank)
+    return {"noff": 1 if nb["north"] < 0 else 0,
+            "soff": 1 if nb["south"] < 0 else 0,
+            "woff": 1 if nb["west"] < 0 else 0,
+            "eoff": 1 if nb["east"] < 0 else 0}
+
+
+def _run_jacobi(fault_plan: Optional[FaultPlan], ckpt: Dict):
+    from ..distributed import run_distributed
+
+    n, tsteps = 12, 5
+    rng = np.random.default_rng(0)
+    A, B = rng.random((n, n)), rng.random((n, n))
+    result = run_distributed(
+        _j2d_chaos, 4, TSTEPS=tsteps, A=A, B=B, lNx=n // 2, lNy=n // 2,
+        rank_args=_jacobi_offsets, fault_plan=fault_plan, **ckpt)
+    return {"A": A, "B": B}, result
+
+
+def _pgemm_sdfg():
+    from ..transformations.distributed import (DistributeElementWiseArrayOp,
+                                               RemoveRedundantComm)
+
+    sdfg = _gemm_chaos.to_sdfg().clone()
+    sdfg.apply(DistributeElementWiseArrayOp)
+    sdfg.expand_library_nodes(implementation="PBLAS")
+    sdfg.apply(RemoveRedundantComm)
+    return sdfg
+
+
+def _run_pgemm(fault_plan: Optional[FaultPlan], ckpt: Dict):
+    from ..distributed import run_distributed
+
+    rng = np.random.default_rng(5)
+    M, K, N = 12, 8, 16
+    A, B, C = rng.random((M, K)), rng.random((K, N)), rng.random((M, N))
+    result = run_distributed(_pgemm_sdfg(), 4, alpha=1.5, beta=0.5,
+                             C=C, A=A, B=B, fault_plan=fault_plan, **ckpt)
+    return {"C": C}, result
+
+
+def _pgemv_sdfg():
+    from ..transformations.distributed import DeduplicateComm
+
+    sdfg = _atax_chaos.to_sdfg().clone()
+    sdfg.expand_library_nodes(implementation="PBLAS")
+    sdfg.apply(DeduplicateComm)
+    return sdfg
+
+
+def _run_pgemv(fault_plan: Optional[FaultPlan], ckpt: Dict):
+    from ..distributed import run_distributed
+
+    rng = np.random.default_rng(7)
+    A, x, y = rng.random((12, 8)), rng.random(8), np.zeros(8)
+    result = run_distributed(_pgemv_sdfg(), 4, A=A, x=x, y=y,
+                             fault_plan=fault_plan, **ckpt)
+    return {"y": y}, result
+
+
+@dataclass
+class ChaosCase:
+    """One corpus entry: runs on fresh inputs, returns output arrays +
+    the :class:`~repro.distributed.runner.DistributedResult`."""
+
+    name: str
+    size: int
+    run: Callable[[Optional[FaultPlan], Dict], Tuple[Dict, object]]
+
+
+CASES: List[ChaosCase] = [
+    ChaosCase("jacobi", 4, _run_jacobi),
+    ChaosCase("pgemm", 4, _run_pgemm),
+    ChaosCase("pgemv", 4, _run_pgemv),
+]
+
+
+# -- the sweep ---------------------------------------------------------------
+
+
+def _crash_plan(seed: int, size: int, op_counts: List[int]) -> FaultPlan:
+    """A seeded single-crash plan guaranteed to fire: the crash site is
+    drawn within the rank's fault-free communication-op count."""
+    rng = random.Random(seed)
+    rank = rng.randrange(size)
+    after_ops = rng.randint(1, max(1, op_counts[rank] - 1))
+    return FaultPlan(seed=seed, crashes=[(rank, after_ops)])
+
+
+def chaos_sweep(seeds: int = 8, ckpt_interval: int = 2,
+                ckpt_comm_ops: int = 0, max_restarts: int = 3,
+                timeout_s: float = 30.0, out: str = "CHAOS.json",
+                case_names: Optional[List[str]] = None,
+                verbose: bool = True) -> Dict:
+    """Run the corpus under seeded crash plans; write *out*; return report."""
+    from ..simmpi.comm import SimMPIError
+
+    cases = [c for c in CASES
+             if case_names is None or c.name in case_names]
+    ckpt = {"ckpt_interval": ckpt_interval, "ckpt_comm_ops": ckpt_comm_ops,
+            "max_restarts": max_restarts, "timeout_s": timeout_s}
+    report_cases = []
+    totals = {"trials": 0, "recovered": 0, "unrecovered": 0, "diverged": 0,
+              "vacuous": 0}
+    for case in cases:
+        baseline_out, baseline = case.run(None, {"timeout_s": timeout_s})
+        trials = []
+        for seed in range(seeds):
+            plan = _crash_plan(seed, case.size, baseline.op_counts)
+            (crash_rank, crash_after), = plan.crash_sites
+            trial = {"seed": seed, "crash_rank": crash_rank,
+                     "crash_after_ops": crash_after, "crashes_fired": 0,
+                     "recovered": False, "restarts": 0, "checkpoints": 0,
+                     "max_abs_err": None, "within_tolerance": False,
+                     "error": None}
+            totals["trials"] += 1
+            try:
+                outs, result = case.run(plan, ckpt)
+            except SimMPIError as exc:
+                trial["error"] = f"{type(exc).__name__}: {exc}"
+                totals["unrecovered"] += 1
+            else:
+                trial["recovered"] = True
+                trial["restarts"] = len([e for e in result.recovery_events
+                                         if e.kind.startswith("restart")])
+                trial["failed_ranks"] = result.failed_ranks
+                err = max(float(np.abs(outs[k] - baseline_out[k]).max())
+                          for k in baseline_out)
+                trial["max_abs_err"] = err
+                trial["within_tolerance"] = all(
+                    np.allclose(outs[k], baseline_out[k],
+                                rtol=RTOL, atol=ATOL)
+                    for k in baseline_out)
+                if trial["within_tolerance"]:
+                    totals["recovered"] += 1
+                else:
+                    totals["diverged"] += 1
+            trial["crashes_fired"] = plan.injected["crashes"]
+            if trial["crashes_fired"] == 0:
+                # the plan never fired: the trial proves nothing
+                totals["vacuous"] += 1
+            if verbose:
+                status = ("ok" if trial["recovered"]
+                          and trial["within_tolerance"] else "FAIL")
+                print(f"  {case.name} seed={seed} crash=(rank {crash_rank}, "
+                      f"op {crash_after}) fired={trial['crashes_fired']} "
+                      f"restarts={trial['restarts']} "
+                      f"err={trial['max_abs_err']} -> {status}")
+            trials.append(trial)
+        report_cases.append({
+            "name": case.name, "size": case.size,
+            "baseline_op_counts": list(baseline.op_counts),
+            "trials": trials,
+        })
+    report = {
+        "schema": SCHEMA,
+        "seeds": seeds,
+        "ckpt_interval": ckpt_interval,
+        "ckpt_comm_ops": ckpt_comm_ops,
+        "max_restarts": max_restarts,
+        "cases": report_cases,
+        "summary": totals,
+    }
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    if verbose:
+        print(f"chaos: {totals['trials']} trials, "
+              f"{totals['recovered']} recovered, "
+              f"{totals['unrecovered']} unrecovered, "
+              f"{totals['diverged']} diverged, "
+              f"{totals['vacuous']} vacuous -> {out}")
+    return report

@@ -31,7 +31,7 @@ import json
 import warnings
 from typing import Any, Dict, List, Optional
 
-from .config import Config
+from ..config import Config
 
 __all__ = [
     "FailureRecord",
@@ -161,7 +161,7 @@ class SDFGSnapshot:
 
     def restore(self, sdfg) -> None:
         if self._json is not None:
-            from .ir.serialize import sdfg_from_json
+            from ..ir.serialize import sdfg_from_json
 
             source = sdfg_from_json(json.loads(self._json))
             source.constants = dict(self._constants or {})
@@ -249,7 +249,7 @@ def transformation_name(transformation) -> str:
 
 def _static_issues(sdfg) -> frozenset:
     """Provable race / out-of-bounds issue keys (sanitize.check_transforms)."""
-    from .sanitizer import static_issue_keys
+    from ..sanitizer import static_issue_keys
 
     return static_issue_keys(sdfg)
 
@@ -257,7 +257,7 @@ def _static_issues(sdfg) -> frozenset:
 def _check_static_issues(sdfg, baseline: frozenset) -> None:
     """Raise when the transformed graph has provable issues the original
     did not — semantics-preservation failed even though validation passed."""
-    from .sanitizer import SanitizerError
+    from ..sanitizer import SanitizerError
 
     fresh = _static_issues(sdfg) - baseline
     if fresh:

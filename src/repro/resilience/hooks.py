@@ -1,0 +1,70 @@
+"""Thread-local state-boundary hooks for resumable SPMD execution.
+
+Both execution engines — the generated Python module
+(:mod:`repro.codegen.pygen`) and the reference interpreter
+(:mod:`repro.runtime.executor`) — call :func:`state_boundary` at the top of
+every state-machine iteration, before the state executes.  When no hook is
+installed (the default) this is a single thread-local attribute read, so the
+zero-overhead-when-off guarantee of the instrumentation layer extends to
+checkpointing.
+
+The distributed runtime installs a per-rank checkpointer through
+:func:`boundary_hook` for the dynamic extent of one rank's execution; the
+hook receives ``(state_index, containers, symbols)`` — exactly the SDFG
+state-machine program point plus the data needed to snapshot it — and may
+raise to unwind the rank (peer-failure abort, checkpoint deadlock).
+
+Nested SDFGs run their own state machines inside a single outer state;
+their boundaries are *not* checkpointable program points (the outer state is
+mid-flight), so :func:`suppressed` masks the hook for the dynamic extent of
+a nested execution.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Callable, Dict, Iterator, Optional
+
+__all__ = ["state_boundary", "boundary_hook", "suppressed", "active_hook"]
+
+BoundaryHook = Callable[[int, Dict[str, Any], Dict[str, Any]], None]
+
+_tls = threading.local()
+
+
+def active_hook() -> Optional[BoundaryHook]:
+    """The calling thread's installed hook, or None (also None while
+    suppressed for a nested-SDFG execution)."""
+    if getattr(_tls, "suppress", 0):
+        return None
+    return getattr(_tls, "hook", None)
+
+
+def state_boundary(state_index: int, containers: Dict[str, Any],
+                   symbols: Dict[str, Any]) -> None:
+    """Fire the thread's boundary hook, if any (called by both backends)."""
+    hook = active_hook()
+    if hook is not None:
+        hook(state_index, containers, symbols)
+
+
+@contextlib.contextmanager
+def boundary_hook(hook: BoundaryHook) -> Iterator[None]:
+    """Install *hook* on the calling thread for the duration of the block."""
+    prev = getattr(_tls, "hook", None)
+    _tls.hook = hook
+    try:
+        yield
+    finally:
+        _tls.hook = prev
+
+
+@contextlib.contextmanager
+def suppressed() -> Iterator[None]:
+    """Mask the thread's hook (nested-SDFG state machines)."""
+    _tls.suppress = getattr(_tls, "suppress", 0) + 1
+    try:
+        yield
+    finally:
+        _tls.suppress -= 1

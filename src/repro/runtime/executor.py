@@ -18,6 +18,7 @@ import numpy as np
 
 from .. import instrumentation
 from ..config import Config
+from ..resilience import hooks as _hooks
 from ..sanitizer import guards as _guards
 from ..ir.data import Array, Scalar, Stream, View
 from ..ir.memlet import Memlet
@@ -317,7 +318,10 @@ def _execute_nested(ctx: _Context, state: SDFGState, node: NestedSDFG,
     for name, value in env.items():
         if isinstance(value, (int, np.integer)):
             inner_symbols.setdefault(name, int(value))
-    _run_machine(inner, inner_containers, inner_symbols)
+    # nested state machines run mid-state of the outer SDFG: their
+    # boundaries are not checkpointable program points
+    with _hooks.suppressed():
+        _run_machine(inner, inner_containers, inner_symbols)
     for storage, slices, data in writeback:
         storage[slices] = data.reshape(storage[slices].shape)
 
@@ -477,13 +481,19 @@ def _scalar_value(storage) -> Any:
     return arr.reshape(-1)[0]
 
 
-def _run_machine(sdfg, containers: Dict[str, Any], symbols: Dict[str, Any]) -> None:
+def _run_machine(sdfg, containers: Dict[str, Any], symbols: Dict[str, Any],
+                 start_state=None) -> None:
     ctx = _Context(sdfg, containers, symbols)
-    state = sdfg.start_state
+    state = start_state if start_state is not None else sdfg.start_state
     if state is None:
         return
+    hook = _hooks.active_hook()
+    state_index = ({s: i for i, s in enumerate(sdfg.topological_states())}
+                   if hook is not None else None)
     transitions = 0
     while state is not None:
+        if hook is not None:
+            hook(state_index.get(state, -1), ctx.containers, ctx.symbols)
         execute_state(ctx, state)
         cond_env = dict(ctx.symbols)
         # expose scalar container values to interstate conditions

@@ -1,11 +1,11 @@
 """Simulated MPI: SPMD threads, mpi4py-style API, LogGP virtual clocks,
 fault injection, and deadlock diagnostics."""
 
-from .comm import (Comm, DeadlockError, Request, SimMPIError, VectorType,
-                   run_spmd)
+from .comm import (Comm, DeadlockError, InjectedCrash, Request, SimMPIError,
+                   VectorType, run_spmd)
 from .grid import ProcessGrid, balanced_dims
 from .netmodel import FaultPlan, NetModel
 
 __all__ = ["Comm", "Request", "VectorType", "run_spmd", "SimMPIError",
-           "DeadlockError", "FaultPlan", "ProcessGrid", "balanced_dims",
-           "NetModel"]
+           "DeadlockError", "InjectedCrash", "FaultPlan", "ProcessGrid",
+           "balanced_dims", "NetModel"]

@@ -31,7 +31,7 @@ from ..config import Config
 from .netmodel import FaultPlan, NetModel
 
 __all__ = ["Comm", "Request", "VectorType", "run_spmd", "SimMPIError",
-           "DeadlockError", "FaultPlan"]
+           "DeadlockError", "InjectedCrash", "FaultPlan"]
 
 #: polling granularity (wall-clock seconds) for blocking receives
 _POLL_S = 0.02
@@ -43,6 +43,16 @@ class SimMPIError(RuntimeError):
 
 class DeadlockError(SimMPIError):
     """A blocking operation timed out; carries the who-waits-on-whom dump."""
+
+
+class InjectedCrash(SimMPIError):
+    """A rank crash injected by a :class:`FaultPlan` (transient fault; the
+    checkpoint/restart supervisor classifies it as recoverable)."""
+
+
+class _AbortedByPeer(SimMPIError):
+    """Secondary error: this rank unwound because *another* rank failed.
+    Filtered out of failure reports — the peer's exception is the cause."""
 
 
 class VectorType:
@@ -93,9 +103,11 @@ class Request:
     """A pending nonblocking operation."""
 
     def __init__(self, complete: Callable[[], None],
-                 try_complete: Optional[Callable[[], bool]] = None):
+                 try_complete: Optional[Callable[[], bool]] = None,
+                 poll: Optional[Callable[[], None]] = None):
         self._complete = complete
         self._try_complete = try_complete
+        self._poll = poll
         self._done = False
 
     def wait(self) -> None:
@@ -107,12 +119,21 @@ class Request:
 
     def test(self) -> bool:
         """Attempt completion without blocking (mpi4py ``Test`` semantics):
-        completes the operation if it can finish now, else returns False."""
+        completes the operation if it can finish now, else returns False.
+
+        A request that can *never* complete (e.g. polling for a message that
+        was dropped or whose sender crashed) does not return False forever:
+        the poll callback raises :class:`DeadlockError` once the request's
+        deadline — started at ``Irecv`` time — expires, and aborts early when
+        a peer rank has already failed."""
         if self._done:
             return True
         if self._try_complete is not None and self._try_complete():
             self._complete()
             self._done = True
+            return True
+        if self._poll is not None:
+            self._poll()
         return self._done
 
     Test = test
@@ -132,22 +153,29 @@ class _World:
 
     def __init__(self, size: int, net: NetModel,
                  fault_plan: Optional[FaultPlan] = None,
-                 timeout_s: Optional[float] = None):
+                 timeout_s: Optional[float] = None, epoch: int = 0):
         self.size = size
         self.net = net
         self.fault_plan = fault_plan
         self.timeout_s = (timeout_s if timeout_s is not None
                           else Config.get("resilience.comm_timeout_s"))
+        #: checkpoint epoch: bumped on every supervised restart; message
+        #: envelopes carry it so receivers can drain stale in-flight traffic
+        self.epoch = epoch
         self.clocks = [0.0] * size
         self.mailboxes: Dict[Tuple[int, int, int], "queue.Queue"] = {}
         self._mail_lock = threading.Lock()
         self.barrier = threading.Barrier(size)
         self.coll_slots: List[Any] = [None] * size
         self.comm_stats = {"messages": 0, "bytes": 0, "retransmissions": 0,
-                           "duplicates_suppressed": 0}
+                           "duplicates_suppressed": 0, "stale_discarded": 0}
         self._stats_lock = threading.Lock()
-        self.failed: Optional[BaseException] = None
+        #: rank -> first exception raised on that rank
+        self.failures: Dict[int, BaseException] = {}
         self._failed_lock = threading.Lock()
+        #: auxiliary barriers (checkpoint rendezvous) broken on failure so
+        #: no rank is left waiting for a dead peer
+        self._extra_barriers: List[threading.Barrier] = []
         #: what each rank is currently blocked on (deadlock diagnostics)
         self.pending: List[Optional[str]] = [None] * size
         #: per-rank count of communication operations (crash injection)
@@ -156,6 +184,13 @@ class _World:
         self._seq: Dict[Tuple[int, int, int], int] = {}
         self._seq_lock = threading.Lock()
         self.delivered: Dict[Tuple[int, int, int], Set[int]] = {}
+
+    @property
+    def failed(self) -> Optional[BaseException]:
+        """The first recorded failure, or None (legacy single-failure view)."""
+        for exc in self.failures.values():
+            return exc
+        return None
 
     def mailbox(self, src: int, dst: int, tag: int) -> "queue.Queue":
         key = (src, dst, tag)
@@ -178,12 +213,68 @@ class _World:
             if stat == "messages":
                 self.comm_stats["bytes"] += nbytes
 
-    def fail(self, exc: BaseException) -> None:
-        """Record the first rank failure and break everyone out of barriers."""
+    def fail(self, exc: BaseException, rank: int = -1) -> None:
+        """Record a rank failure and break everyone out of barriers.
+
+        Every failing rank is recorded (first exception per rank wins) so
+        :func:`run_spmd` can name them all; collective and checkpoint
+        barriers are aborted so surviving ranks unwind instead of waiting
+        for a dead peer."""
         with self._failed_lock:
-            if self.failed is None:
-                self.failed = exc
+            self.failures.setdefault(rank, exc)
+            extra = list(self._extra_barriers)
         self.barrier.abort()
+        for barrier in extra:
+            barrier.abort()
+
+    def register_barrier(self, barrier: "threading.Barrier") -> None:
+        """Register an auxiliary barrier to be aborted on any rank failure."""
+        with self._failed_lock:
+            self._extra_barriers.append(barrier)
+            already_failed = bool(self.failures)
+        if already_failed:
+            barrier.abort()
+
+    # -- checkpoint support -------------------------------------------------
+    def snapshot_comm(self) -> Dict[str, Any]:
+        """Capture communication state at a quiescent point (all ranks at a
+        checkpoint barrier): clocks, op counts, per-channel sequence state,
+        and in-flight mailbox messages.  Consumed by
+        :class:`repro.resilience.distributed.WorldCheckpoint`."""
+        with self._mail_lock:
+            boxes = {key: list(box.queue)
+                     for key, box in self.mailboxes.items()}
+        with self._seq_lock:
+            seq = dict(self._seq)
+        with self._stats_lock:
+            stats = dict(self.comm_stats)
+        return {
+            "clocks": list(self.clocks),
+            "op_counts": list(self.op_counts),
+            "seq": seq,
+            "delivered": {k: set(v) for k, v in self.delivered.items()},
+            "mailboxes": boxes,
+            "comm_stats": stats,
+        }
+
+    def restore_comm(self, snap: Dict[str, Any]) -> None:
+        """Rebuild communication state from a checkpoint snapshot.
+
+        In-flight messages captured under the old epoch are retagged to this
+        world's epoch — they were legitimately sent before the cut and must
+        be deliverable after the restart; anything sent *after* the cut died
+        with the old world and never reappears."""
+        self.clocks[:] = snap["clocks"]
+        self.op_counts[:] = snap["op_counts"]
+        with self._seq_lock:
+            self._seq = dict(snap["seq"])
+        self.delivered = {k: set(v) for k, v in snap["delivered"].items()}
+        with self._stats_lock:
+            self.comm_stats.update(snap["comm_stats"])
+        for key, msgs in snap["mailboxes"].items():
+            box = self.mailbox(*key)
+            for (_epoch, seqno, data, sent_at, nbytes) in msgs:
+                box.put((self.epoch, seqno, data, sent_at, nbytes))
 
     def deadlock_dump(self, rank: int, desc: str) -> str:
         lines = [
@@ -220,21 +311,31 @@ class Comm:
 
     # -- fault hooks -------------------------------------------------------
     def _op(self, desc: str) -> None:
-        """Count a communication operation; fire an injected rank crash."""
+        """Count a communication operation; fire an injected rank crash.
+
+        Also the abort poll point for compute-bound survivors: once any
+        peer has failed, the next communication operation on this rank
+        unwinds instead of feeding a doomed execution."""
+        self._check_aborted()
         world = self._world
         world.op_counts[self.rank] += 1
         plan = world.fault_plan
         if plan is not None and \
                 plan.should_crash(self.rank, world.op_counts[self.rank]):
-            raise SimMPIError(
+            raise InjectedCrash(
                 f"injected crash on rank {self.rank} during {desc} "
                 f"(operation #{world.op_counts[self.rank]})")
 
     def _check_aborted(self) -> None:
-        if self._world.failed is not None:
-            raise SimMPIError(
-                f"rank {self.rank} aborted: a peer rank already failed "
-                f"({self._world.failed})") from self._world.failed
+        world = self._world
+        if world.failures:
+            with world._failed_lock:
+                items = sorted(world.failures.items())
+            first = items[0][1]
+            names = ", ".join(f"rank {r}" for r, _ in items)
+            raise _AbortedByPeer(
+                f"rank {self.rank} aborted: peer failure on {names} "
+                f"({first})") from first
 
     # -- point-to-point -----------------------------------------------------
     def _payload(self, buf, datatype: Optional[VectorType]):
@@ -273,9 +374,11 @@ class Comm:
                 continue
             delay = plan.delay(channel) if plan is not None else 0.0
             box = world.mailbox(self.rank, dest, tag)
-            box.put((seq, data, world.clocks[self.rank] + delay, nbytes))
+            envelope = (world.epoch, seq, data,
+                        world.clocks[self.rank] + delay, nbytes)
+            box.put(envelope)
             if plan is not None and plan.duplicate(channel):
-                box.put((seq, data, world.clocks[self.rank] + delay, nbytes))
+                box.put(envelope)
             return
 
     def Recv(self, buf, source: int, tag: int = 0,
@@ -294,9 +397,13 @@ class Comm:
                 if remaining <= 0:
                     raise DeadlockError(world.deadlock_dump(self.rank, desc))
                 try:
-                    seq, data, sent_at, nbytes = box.get(
+                    epoch, seq, data, sent_at, nbytes = box.get(
                         timeout=min(remaining, _POLL_S))
                 except queue.Empty:
+                    continue
+                if epoch < world.epoch:
+                    # in-flight message from a pre-restart epoch: stale
+                    world.record(nbytes, stat="stale_discarded")
                     continue
                 if seq in delivered:
                     # duplicate injected by the fault plan: suppress
@@ -324,12 +431,25 @@ class Comm:
 
     def Irecv(self, buf, source: int, tag: int = 0,
               datatype: Optional[VectorType] = None) -> Request:
-        box = self._world.mailbox(source, self.rank, tag)
+        world = self._world
+        box = world.mailbox(source, self.rank, tag)
+        desc = f"Irecv(source={source}, tag={tag})"
+        deadline = time.monotonic() + world.timeout_s
 
         def complete():
             self.Recv(buf, source, tag, datatype)
 
-        return Request(complete, try_complete=lambda: not box.empty())
+        def poll():
+            # called from Request.test when the message has not arrived:
+            # abort on peer failure, raise once the deadline (started at
+            # request creation) expires — a dropped message must not keep
+            # a test() loop spinning forever
+            self._check_aborted()
+            if time.monotonic() >= deadline:
+                raise DeadlockError(world.deadlock_dump(self.rank, desc))
+
+        return Request(complete, try_complete=lambda: not box.empty(),
+                       poll=poll)
 
     def Waitall(self, requests: Sequence[Request]) -> None:
         Request.waitall(requests)
@@ -496,24 +616,59 @@ def run_spmd(func: Callable[[Comm], Any], size: int,
     """
     world = _World(size, net or NetModel.from_config(),
                    fault_plan=fault_plan, timeout_s=timeout_s)
-    results: List[Any] = [None] * size
+    results = _launch(func, world)
+    _raise_failures(world)
+    return results, world.clocks, world.comm_stats
+
+
+def _launch(func: Callable[[Comm], Any], world: _World) -> List[Any]:
+    """Run one epoch of SPMD threads to completion without raising.
+
+    Failures land in ``world.failures`` keyed by rank; the supervisor
+    (:mod:`repro.resilience.distributed`) inspects them to decide between
+    restart and re-raise, while :func:`run_spmd` always re-raises."""
+    results: List[Any] = [None] * world.size
 
     def runner(rank: int) -> None:
         try:
             results[rank] = func(Comm(world, rank))
         except BaseException as exc:  # noqa: BLE001 - propagated to caller
-            world.fail(exc)
+            world.fail(exc, rank)
         finally:
             world.pending[rank] = "<finished>"
 
     threads = [threading.Thread(target=runner, args=(r,), daemon=True)
-               for r in range(size)]
+               for r in range(world.size)]
     for t in threads:
         t.start()
     for t in threads:
         t.join()
-    if world.failed is not None:
-        if isinstance(world.failed, DeadlockError):
-            raise world.failed
-        raise SimMPIError(f"rank failure: {world.failed}") from world.failed
-    return results, world.clocks, world.comm_stats
+    return results
+
+
+def primary_failures(world: _World) -> Dict[int, BaseException]:
+    """Rank failures that *caused* the abort, in rank order.
+
+    :class:`_AbortedByPeer` unwinds are secondary casualties — survivors
+    kicked out of barriers/receives after someone else died — and are
+    excluded unless they are all that happened."""
+    primaries = {r: e for r, e in sorted(world.failures.items())
+                 if not isinstance(e, _AbortedByPeer)}
+    return primaries or dict(sorted(world.failures.items()))
+
+
+def _raise_failures(world: _World) -> None:
+    if not world.failures:
+        return
+    primaries = primary_failures(world)
+    first = next(iter(primaries.values()))
+    if all(isinstance(e, DeadlockError) for e in primaries.values()):
+        # the dump already names every rank's pending operation
+        raise first
+    if len(primaries) == 1:
+        rank, exc = next(iter(primaries.items()))
+        raise SimMPIError(f"rank {rank} failed: {exc}") from exc
+    lines = [f"{len(primaries)} ranks failed:"]
+    for rank, exc in primaries.items():
+        lines.append(f"  rank {rank}: {type(exc).__name__}: {exc}")
+    raise SimMPIError("\n".join(lines)) from first

@@ -13,7 +13,7 @@ import math
 import random
 import threading
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..config import Config
 
@@ -118,6 +118,11 @@ class FaultPlan:
     duplicate_prob: float = 0.0
     crash_rank: Optional[int] = None
     crash_after_ops: int = 1
+    #: additional crash sites as ``[(rank, after_ops), ...]``; combined with
+    #: the legacy ``crash_rank``/``crash_after_ops`` pair.  Each site fires
+    #: at most once — the fault is transient, so a supervised restart from a
+    #: checkpoint does not re-kill the respawned rank.
+    crashes: Optional[List[Tuple[int, int]]] = None
     max_drops: Optional[int] = None
     max_duplicates: Optional[int] = None
     injected: dict = field(default_factory=lambda: {
@@ -126,6 +131,23 @@ class FaultPlan:
     def __post_init__(self):
         self._rng = random.Random(self.seed)
         self._lock = threading.Lock()
+        self._crash_sites: List[Tuple[int, int]] = []
+        if self.crash_rank is not None:
+            self._crash_sites.append((self.crash_rank, self.crash_after_ops))
+        for rank, after_ops in (self.crashes or []):
+            self._crash_sites.append((int(rank), int(after_ops)))
+        self._fired_sites: set = set()
+
+    @property
+    def crash_sites(self) -> List[Tuple[int, int]]:
+        """All configured crash sites (legacy pair + ``crashes`` list)."""
+        return list(self._crash_sites)
+
+    @property
+    def pending_crash_sites(self) -> List[Tuple[int, int]]:
+        """Sites that have not fired yet."""
+        return [site for i, site in enumerate(self._crash_sites)
+                if i not in self._fired_sites]
 
     def _roll(self, prob: float) -> bool:
         if prob <= 0.0:
@@ -163,10 +185,12 @@ class FaultPlan:
             return False
 
     def should_crash(self, rank: int, ops_completed: int) -> bool:
-        if self.crash_rank != rank:
-            return False
         with self._lock:
-            if ops_completed >= self.crash_after_ops:
-                self.injected["crashes"] += 1
-                return True
+            for i, (site_rank, after_ops) in enumerate(self._crash_sites):
+                if i in self._fired_sites or site_rank != rank:
+                    continue
+                if ops_completed >= after_ops:
+                    self._fired_sites.add(i)
+                    self.injected["crashes"] += 1
+                    return True
             return False
