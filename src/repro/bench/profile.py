@@ -30,14 +30,23 @@ The resulting ``BENCH_cpu.json`` (schema below) is the datapoint every PR's
 perf trajectory is judged against; CI uploads one per run and gates merges
 on ``--check`` against the committed ``benchmarks/BENCH_baseline.json``.
 
-Schema (``repro-bench-cpu/2``)::
+With ``--threads N`` the harness additionally measures each benchmark's
+compiled module with the multicore backend at N workers
+(``device.cpu_threads`` override; the serial baseline is pinned to one
+worker either way) and records the serial-vs-parallel thread-scaling
+columns plus their corpus geomean.
+
+Schema (``repro-bench-cpu/3``)::
 
     {
-      "schema": "repro-bench-cpu/2",
+      "schema": "repro-bench-cpu/3",
       "created_utc": "...", "size": "...", "repetitions": N,
+      "cpu_threads": T,                  # 0: thread-scaling not measured
       "benchmarks": {
         "<name>": {"numpy_s": ..., "interpreter_s": ..., "compiled_s": ...,
                     "speedup": ..., "interpreter_speedup": ...,
+                    "compiled_parallel_s": ..., "parallel_speedup": ...,
+                    "parallel_regions": ...,
                     "compile_s": ..., "compile_cold_s": ...,
                     "compile_warm_s": ..., "compile_warm_speedup": ...,
                     "cache_populate": "miss" | "hit-disk" | "hit-memory",
@@ -46,6 +55,7 @@ Schema (``repro-bench-cpu/2``)::
       "failures": {"<name>": "<stage>: <error>"},
       "geomean_speedup": ...,            # compiled vs numpy, corpus geomean
       "geomean_interpreter_speedup": ...,
+      "geomean_parallel_speedup": ...,   # serial vs T workers, corpus geomean
       "geomean_compile_warm_speedup": ..., # cold/warm compile, corpus geomean
       "compile_cold_total_s": ..., "compile_warm_total_s": ...,
       "cache": {"memory_hits": ..., "disk_hits": ..., "misses": ...,
@@ -75,7 +85,7 @@ from . import registry
 __all__ = ["profile_benchmark", "profile_corpus", "write_artifact",
            "check_against_baseline", "main"]
 
-SCHEMA = "repro-bench-cpu/2"
+SCHEMA = "repro-bench-cpu/3"
 DEFAULT_OUTPUT = "BENCH_cpu.json"
 DEFAULT_BASELINE = "benchmarks/BENCH_baseline.json"
 
@@ -90,7 +100,7 @@ def _sdfg_for(bench, size: str):
 
 
 def profile_benchmark(bench, size: str = "test", repetitions: int = 3,
-                      warmup: int = 1) -> Dict[str, object]:
+                      warmup: int = 1, threads: int = 0) -> Dict[str, object]:
     """Measure one benchmark; returns its ``BENCH_cpu.json`` entry.
 
     Raises on failure — the caller decides how to record it.
@@ -135,11 +145,32 @@ def profile_benchmark(bench, size: str = "test", repetitions: int = 3,
 
     numpy_m = measure(bench.reference, repetitions=repetitions,
                       warmup=warmup, setup=fresh)
-    compiled_m = measure(lambda **kw: compiled(**kw),
-                         repetitions=repetitions, warmup=warmup, setup=fresh)
+    # the serial baseline pins the worker count to 1 so it stays comparable
+    # across machines and against pre-multicore baselines
+    with Config.override(device__cpu_threads=1):
+        compiled_m = measure(lambda **kw: compiled(**kw),
+                             repetitions=repetitions, warmup=warmup,
+                             setup=fresh)
     # the interpreter is orders of magnitude slower: one timed run suffices
     interp_m = measure(lambda **kw: run_sdfg(sdfg, **kw),
                        repetitions=1, warmup=0, setup=fresh)
+
+    # thread-scaling column: same compiled artifact, multicore dispatch
+    # (the pool size is resolved at call time, not compile time)
+    compiled_parallel_s = None
+    parallel_regions = 0
+    if threads and threads > 1:
+        from ..runtime import parallel as repro_parallel
+
+        before = repro_parallel.stats().to_dict()
+        with Config.override(device__cpu_threads=int(threads)):
+            par_m = measure(lambda **kw: compiled(**kw),
+                            repetitions=repetitions, warmup=warmup,
+                            setup=fresh)
+        compiled_parallel_s = par_m.median
+        parallel_regions = (repro_parallel.stats().to_dict()
+                            ["parallel_regions"]
+                            - before["parallel_regions"])
 
     entry: Dict[str, object] = {
         "numpy_s": numpy_m.median,
@@ -149,6 +180,10 @@ def profile_benchmark(bench, size: str = "test", repetitions: int = 3,
                     if compiled_m.median > 0 else 0.0),
         "interpreter_speedup": (numpy_m.median / interp_m.median
                                 if interp_m.median > 0 else 0.0),
+        "compiled_parallel_s": compiled_parallel_s,
+        "parallel_speedup": (compiled_m.median / compiled_parallel_s
+                             if compiled_parallel_s else 0.0),
+        "parallel_regions": parallel_regions,
         "compile_s": compile_s,
         "compile_cold_s": compile_s,
         "compile_warm_s": compile_warm_s,
@@ -162,7 +197,7 @@ def profile_benchmark(bench, size: str = "test", repetitions: int = 3,
 
 def profile_corpus(size: str = "test", names: Optional[List[str]] = None,
                    repetitions: int = 3, warmup: int = 1,
-                   verbose: bool = True) -> Dict[str, object]:
+                   verbose: bool = True, threads: int = 0) -> Dict[str, object]:
     """Profile the corpus (or *names*); returns the artifact dictionary."""
     if names:
         benches = [registry.get(name) for name in names]
@@ -175,7 +210,8 @@ def profile_corpus(size: str = "test", names: Optional[List[str]] = None,
     for bench in benches:
         try:
             entry = profile_benchmark(bench, size=size,
-                                      repetitions=repetitions, warmup=warmup)
+                                      repetitions=repetitions, warmup=warmup,
+                                      threads=threads)
         except Exception as exc:
             failures[bench.name] = f"{type(exc).__name__}: {exc}"
             if verbose:
@@ -192,6 +228,8 @@ def profile_corpus(size: str = "test", names: Optional[List[str]] = None,
     interp_speedups = [e["interpreter_speedup"] for e in benchmarks.values()]
     warm_speedups = [e["compile_warm_speedup"] for e in benchmarks.values()
                      if e.get("compile_warm_speedup")]
+    parallel_speedups = [e["parallel_speedup"] for e in benchmarks.values()
+                         if e.get("parallel_speedup")]
     cache_now = repro_cache.stats()
     cache_section = {k: cache_now.to_dict()[k] - cache_before.get(k, 0)
                      for k in ("memory_hits", "disk_hits", "misses",
@@ -208,12 +246,14 @@ def profile_corpus(size: str = "test", names: Optional[List[str]] = None,
             datetime.timezone.utc).isoformat(timespec="seconds"),
         "size": size,
         "repetitions": repetitions,
+        "cpu_threads": int(threads),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "benchmarks": benchmarks,
         "failures": failures,
         "geomean_speedup": geomean(speedups),
         "geomean_interpreter_speedup": geomean(interp_speedups),
+        "geomean_parallel_speedup": geomean(parallel_speedups),
         "geomean_compile_warm_speedup": geomean(warm_speedups),
         "compile_cold_total_s": sum(e["compile_cold_s"]
                                     for e in benchmarks.values()),
@@ -303,6 +343,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--repetitions", type=int, default=3,
                         help="timed repetitions for numpy/compiled "
                              "(default: 3)")
+    parser.add_argument("--threads", type=int, default=0, metavar="N",
+                        help="also measure the multicore backend at N "
+                             "workers and record serial-vs-N thread-scaling "
+                             "columns (0: skip)")
     parser.add_argument("--list", action="store_true",
                         help="list corpus benchmark names and exit")
     parser.add_argument("--warm", type=int, default=0, metavar="JOBS",
@@ -348,7 +392,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"profiling {len(names) if names else 'all'} benchmark(s) "
           f"at size class {args.size!r}...")
     result = profile_corpus(size=args.size, names=names,
-                            repetitions=args.repetitions)
+                            repetitions=args.repetitions,
+                            threads=args.threads)
     path = write_artifact(result, args.output)
     ok = len(result["benchmarks"])
     failed = len(result["failures"])
@@ -356,6 +401,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"geomean speedup over NumPy: compiled "
           f"{result['geomean_speedup']:.3f}x, interpreter "
           f"{result['geomean_interpreter_speedup']:.3f}x")
+    if args.threads and result.get("geomean_parallel_speedup"):
+        print(f"thread scaling at {args.threads} workers: geomean "
+              f"{result['geomean_parallel_speedup']:.3f}x over serial")
     if result.get("geomean_compile_warm_speedup"):
         print(f"compile cold {result['compile_cold_total_s']:.3f}s vs warm "
               f"{result['compile_warm_total_s']:.3f}s "

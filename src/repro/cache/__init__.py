@@ -92,7 +92,7 @@ def cached_compile(sdfg, device: str = "CPU", instrument: bool = False,
 
     compiled = store.get_memory(key)
     if compiled is not None:
-        stats().memory_hits += 1
+        stats().bump("memory_hits")
         if coll is not None:
             coll.add("cache", "hit-memory", time.perf_counter() - start)
         return compiled
@@ -106,13 +106,13 @@ def cached_compile(sdfg, device: str = "CPU", instrument: bool = False,
             # a structurally unusable entry is as good as a corrupted one
             store.invalidate(key)
         else:
-            stats().disk_hits += 1
+            stats().bump("disk_hits")
             if coll is not None:
                 coll.add("cache", "hit-disk", time.perf_counter() - start)
             store.put_memory(key, compiled)
             return compiled
 
-    stats().misses += 1
+    stats().bump("misses")
     if coll is not None:
         coll.add("cache", "miss", time.perf_counter() - start)
     compiled = _compile_full(sdfg, device, instrument, sanitize, optimize,

@@ -69,14 +69,22 @@ def code_version() -> str:
 
 
 def config_digest() -> str:
-    """Digest of configuration keys that influence compilation output."""
+    """Digest of configuration keys that influence compilation output.
+
+    ``device.*`` / ``parallel.*`` keys and the *resolved* worker count are
+    included so serial and multicore thread-variants of the same graph get
+    distinct cache keys: the generated parallel dispatch differs per
+    schedule, and the resolved count covers ``$REPRO_CPU_THREADS``.
+    """
     from ..config import Config
+    from ..runtime.parallel import configured_threads
 
     relevant = {}
     for key in sorted(Config.keys()):
-        if key.startswith("optimizer.") or key in (
+        if key.startswith(("optimizer.", "device.", "parallel.")) or key in (
                 "sanitize.check_transforms", "validate.after_transform"):
             relevant[key] = Config.get(key)
+    relevant["resolved.cpu_threads"] = configured_threads()
     blob = json.dumps(relevant, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -32,7 +32,9 @@ ENTRY_SCHEMA = "repro-cache-entry/1"
 
 @dataclasses.dataclass
 class CacheStats:
-    """Process-wide cache event counters."""
+    """Process-wide cache event counters (mutate through :meth:`bump` —
+    bare ``+=`` on a shared counter loses increments under the multicore
+    execution backend's worker threads)."""
 
     memory_hits: int = 0
     disk_hits: int = 0
@@ -40,6 +42,14 @@ class CacheStats:
     stores: int = 0
     invalidations: int = 0      # corrupted/unreadable entries evicted
     evictions: int = 0          # LRU size-budget evictions
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        """Atomically increment one of the counter fields."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
 
     @property
     def hits(self) -> int:
@@ -243,7 +253,7 @@ class CacheStore:
                 raise
         except OSError:
             return False
-        _STATS.stores += 1
+        _STATS.bump("stores")
         self.evict_to_budget()
         return True
 
@@ -255,7 +265,7 @@ class CacheStore:
             os.unlink(self.entry_path(key))
         except OSError:
             return False
-        _STATS.invalidations += 1
+        _STATS.bump("invalidations")
         return True
 
     def iter_entry_files(self) -> Iterator[str]:
@@ -291,7 +301,7 @@ class CacheStore:
                 continue
             total -= size
             evicted += 1
-            _STATS.evictions += 1
+            _STATS.bump("evictions")
         return evicted
 
     # ------------------------------------------------------------ maintenance
@@ -338,7 +348,7 @@ class CacheStore:
                 if evict:
                     try:
                         os.unlink(path)
-                        _STATS.invalidations += 1
+                        _STATS.bump("invalidations")
                     except OSError:
                         pass
                 continue

@@ -26,6 +26,7 @@ from ..ir.nodes import (
     MapExit,
     NestedSDFG,
     Node,
+    ScheduleType,
     Tasklet,
 )
 from ..symbolic import Expr, Integer, Range, definitely_eq
@@ -439,11 +440,63 @@ class _Generator:
                     if edge.memlet.dynamic:
                         return False
 
+        # cross-store alias analysis: several stores into the same container
+        # (through different connectors or tasklets) are only vectorizable
+        # when element-wise execution order cannot matter.  The serial
+        # semantics interleave the stores per iteration; the vectorized form
+        # runs each store over the whole range, so aliasing subsets (e.g.
+        # A[i] and A[i+1]) would become last-writer-wins.
+        stores_by_data: Dict[str, List] = {}
+        for plan in plans.values():
+            for actions in plan["out"].values():
+                for kind, payload in actions:
+                    if kind == "store":
+                        stores_by_data.setdefault(payload[0], []).append(payload)
+        for data, plist in stores_by_data.items():
+            if len(plist) < 2:
+                continue
+            wcrs = {p[4] for p in plist}
+            if None not in wcrs and len(wcrs) == 1:
+                continue  # all the same commutative WCR: order-free
+            shapes = {(p[1], str(p[2]), tuple(p[3])) for p in plist}
+            if len(shapes) == 1 and len(plist[0][3]) == k:
+                # identical full-rank subsets: each element is touched by
+                # exactly one iteration per store, in emission (= serial)
+                # order — no cross-iteration aliasing possible
+                continue
+            return False
+
+        # conflicted WCR stores under a CPU_Multicore schedule: the store
+        # subset does not partition with the outermost parameter (scalar
+        # accumulators, reductions over axis 0), so concurrent chunks must
+        # accumulate into private identity-initialized buffers merged after
+        # the join (see runtime.parallel).  Everything else writes the real
+        # containers: race-free scheduling makes chunk writes disjoint.
+        parallel = (entry.map.schedule == ScheduleType.CPU_Multicore
+                    and k >= 1)
+        conflicted: Dict[str, str] = {}
+        if parallel:
+            for data, plist in stores_by_data.items():
+                for p in plist:
+                    if p[4] is not None and (p[1] == "scalar" or 0 not in p[3]):
+                        conflicted[data] = p[4]
+
         # ------------------------------------------------------- emission
         sid = self.uid()
         for i, (b, e, s) in enumerate(entry.map.range.dims):
             self.emit(f"__b{i}_{sid} = ({b}); __e{i}_{sid} = ({e}); "
                       f"__s{i}_{sid} = ({s})")
+        target_map: Dict[str, str] = {}
+        if parallel:
+            # the scope body becomes a chunk function: the outermost bounds
+            # are parameters (shadowing the outer names, so every make_slice
+            # on axis 0 selects the chunk's span) and conflicted WCR stores
+            # retarget to the per-chunk accumulator dict
+            acc_var = f"__par_acc{sid}"
+            target_map = {data: f"{acc_var}[{data!r}]" for data in conflicted}
+            self.emit(f"def __par_body{sid}(__b0_{sid}, __e0_{sid}, "
+                      f"{acc_var}):")
+            self._indent += 1
         shape_var = f"__shape{sid}"
         dims = ", ".join(f"dim_length(__b{i}_{sid}, __e{i}_{sid}, __s{i}_{sid})"
                          for i in range(k))
@@ -500,8 +553,9 @@ class _Generator:
                                       f"{payload[0]}, "
                                       f"{self._plan_index_code(payload, sid)}, "
                                       f"{out_names[conn]})")
-                        self.emit(self._store_code(payload, out_names[conn],
-                                                   sid, k, shape_var))
+                        self.emit(self._store_code(
+                            payload, out_names[conn], sid, k, shape_var,
+                            target=target_map.get(payload[0])))
                     elif kind == "local":
                         local_vars[payload] = out_names[conn]
                     # wires resolved by consumers
@@ -509,6 +563,20 @@ class _Generator:
                 wire_vars[(id(node), conn)] = out_names[conn]
 
         self._indent -= 1
+        if parallel:
+            self._indent -= 1  # close the chunk-function def
+            from ..runtime.perfmodel import tasklet_flops
+
+            flops = sum(tasklet_flops(n.code) for n in body
+                        if isinstance(n, Tasklet)) or 1
+            inner = " * ".join(
+                f"dim_length(__b{i}_{sid}, __e{i}_{sid}, __s{i}_{sid})"
+                for i in range(1, k)) or "1"
+            spec = "{" + ", ".join(f"{d!r}: ({d}, {w!r})"
+                                   for d, w in sorted(conflicted.items())) + "}"
+            label = entry.map.label or ",".join(params)
+            self.emit(f"__par_map(__par_body{sid}, __b0_{sid}, __e0_{sid}, "
+                      f"__s0_{sid}, ({flops}) * ({inner}), {spec}, {label!r})")
         return True
 
     def _scope_topo(self, state, entry, body) -> List[Node]:
@@ -617,21 +685,22 @@ class _Generator:
         return (memlet.data, "array", dim_plans, axes, memlet.wcr)
 
     def _store_code(self, plan, value_var: str, sid: int, k: int,
-                    shape_var: str) -> str:
+                    shape_var: str, target: Optional[str] = None) -> str:
         data, kind, dim_plans, axes, wcr = plan
+        dst = target or data
         if kind == "scalar":
             idx = "(0,)"
             if wcr is None:
-                return f"{data}[0] = np.broadcast_to({value_var}, ()).item() " \
+                return f"{dst}[0] = np.broadcast_to({value_var}, ()).item() " \
                        f"if np.ndim({value_var}) else {value_var}"
-            return (f"wcr_store({data}, {idx}, {value_var}, {wcr!r}, (), "
+            return (f"wcr_store({dst}, {idx}, {value_var}, {wcr!r}, (), "
                     f"{shape_var})")
         parts = self._plan_parts(dim_plans, axes, sid)
         idx = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
         if wcr is None:
-            return (f"store_aligned({data}, {idx}, {value_var}, {tuple(axes)}, "
+            return (f"store_aligned({dst}, {idx}, {value_var}, {tuple(axes)}, "
                     f"{shape_var})")
-        return (f"wcr_store({data}, {idx}, {value_var}, {wcr!r}, {tuple(axes)}, "
+        return (f"wcr_store({dst}, {idx}, {value_var}, {wcr!r}, {tuple(axes)}, "
                 f"{shape_var})")
 
     # ------------------------------------------------------------- copies
@@ -895,9 +964,11 @@ def _exec_module(sdfg, source: str, closures: Dict[str, object],
 
     from ..resilience.hooks import state_boundary
     from ..runtime.executor import allocate_container
+    from ..runtime.parallel import parallel_map
 
     namespace: Dict[str, object] = {
         "__ckpt": state_boundary,
+        "__par_map": parallel_map,
         "np": np,
         "math": _math,
         "make_slice": make_slice,

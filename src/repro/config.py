@@ -18,6 +18,12 @@ _DEFAULTS: Dict[str, Any] = {
     "optimizer.stack_array_limit": 64,       # elements; below -> "stack" storage
     # Instrumentation (see repro.instrumentation)
     "instrument.mode": "off",                # "off" | "timers"
+    # Multicore CPU backend (see repro.runtime.parallel and DESIGN.md §11)
+    "device.cpu_threads": 0,                 # worker count; 0 -> $REPRO_CPU_THREADS
+                                             # -> os.cpu_count()
+    "parallel.min_work": 65536,              # est. flops below which a map
+                                             # stays serial (pool dispatch
+                                             # costs more than it saves)
     # Compilation cache (see repro.cache and DESIGN.md §9)
     "cache.enabled": True,                   # content-addressed compile cache
     "cache.dir": "",                         # "" -> $REPRO_CACHE_DIR -> ~/.cache/repro

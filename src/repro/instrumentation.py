@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -49,7 +50,7 @@ __all__ = [
 #: known region categories (free-form strings are accepted; these are the
 #: ones the built-in hooks emit)
 CATEGORIES = ("state", "map", "library", "pass", "phase", "cache", "attempt",
-              "recovery")
+              "recovery", "parallel")
 
 #: the active collector; ``None`` means instrumentation is off (the single
 #: check every hot path performs)
@@ -199,14 +200,19 @@ class ProfileCollector:
         self._regions: Dict[Tuple[str, str], RegionStat] = {}
         self._attempts: List[AttemptRecord] = []
         self.meta: Dict[str, Any] = {}
+        # per-worker timers from parallel map chunks land concurrently; the
+        # dict get/create and the RegionStat field updates must be atomic or
+        # regions are dropped and counts corrupted
+        self._lock = threading.Lock()
 
     # -------------------------------------------------------------- timers
     def add(self, category: str, name: str, seconds: float) -> None:
         key = (category, name)
-        stat = self._regions.get(key)
-        if stat is None:
-            stat = self._regions[key] = RegionStat(category, name)
-        stat.add(seconds)
+        with self._lock:
+            stat = self._regions.get(key)
+            if stat is None:
+                stat = self._regions[key] = RegionStat(category, name)
+            stat.add(seconds)
 
     @contextlib.contextmanager
     def region(self, category: str, name: str) -> Iterator[None]:
@@ -219,7 +225,8 @@ class ProfileCollector:
     def attempt(self, stage: str, ok: bool, seconds: float,
                 error: str = "") -> AttemptRecord:
         rec = AttemptRecord(stage, ok, seconds, error)
-        self._attempts.append(rec)
+        with self._lock:
+            self._attempts.append(rec)
         return rec
 
     # ------------------------------------------------------------- results
@@ -230,11 +237,14 @@ class ProfileCollector:
     def report(self, **meta: Any) -> ProfileReport:
         merged = dict(self.meta)
         merged.update(meta)
+        with self._lock:
+            regions = list(self._regions.values())
+            attempts = list(self._attempts)
         return ProfileReport(
             program=self.program,
             mode=self.mode,
-            regions=list(self._regions.values()),
-            attempts=list(self._attempts),
+            regions=regions,
+            attempts=attempts,
             meta=merged,
         )
 

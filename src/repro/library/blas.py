@@ -163,14 +163,42 @@ def _expand_matmul_native(node: MatMul, sdfg, state):
     return tasklet
 
 
-def _prepend_wcr_init(sdfg, state, out_name: str, wcr_entry, identity=0):
+def _identity_literal(value) -> str:
+    """A Python source literal for a WCR identity value (tasklet code runs
+    under plain ``eval`` semantics, so bare ``inf`` would be a NameError)."""
+    import math as _math
+
+    import numpy as _np
+
+    if isinstance(value, (bool, _np.bool_)):
+        return repr(bool(value))
+    if isinstance(value, (float, _np.floating)):
+        v = float(value)
+        if _math.isinf(v):
+            return 'float("inf")' if v > 0 else 'float("-inf")'
+        return repr(v)
+    return repr(int(value))
+
+
+def _prepend_wcr_init(sdfg, state, out_name: str, wcr_entry, identity=0,
+                      wcr=None):
     """Write the WCR identity into the accumulation target before a WCR map
-    (an ordering edge keeps the initialization ahead of the accumulation)."""
+    (an ordering edge keeps the initialization ahead of the accumulation).
+
+    When *wcr* is given the identity is derived from the output dtype via
+    :func:`repro.runtime.wcr.wcr_identity` (integer min/max have no infinity;
+    logical reductions initialize to True/False), overriding *identity*.
+    """
     from ..ir.data import Scalar as _Scalar
+    from ..runtime.wcr import wcr_identity
 
     desc = sdfg.arrays[out_name]
     init_node = state.add_access(out_name)
-    value = repr(float(identity) if desc.dtype.is_float else identity)
+    if wcr is not None:
+        identity = wcr_identity(wcr, desc.dtype.nptype)
+    elif desc.dtype.is_float:
+        identity = float(identity)
+    value = _identity_literal(identity)
     if isinstance(desc, _Scalar):
         tasklet = state.add_tasklet("init_acc", set(), {"__out"},
                                     f"__out = {value}")

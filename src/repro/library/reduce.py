@@ -105,11 +105,9 @@ def _expand_reduce_native(node: Reduce, sdfg, state):
         input_nodes={in_name: ins["_in"].src if ins["_in"].src_conn is None else None},
         output_nodes={out_name: outs["_out"].dst if outs["_out"].dst_conn is None else None},
     )
-    from ..runtime.wcr import WCR_IDENTITY
     from .blas import _prepend_wcr_init
 
-    _prepend_wcr_init(sdfg, state, out_name, entry,
-                      identity=WCR_IDENTITY[node.wcr])
+    _prepend_wcr_init(sdfg, state, out_name, entry, wcr=node.wcr)
     state.remove_node(node)
     return tasklet
 

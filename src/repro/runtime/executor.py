@@ -29,6 +29,7 @@ from ..ir.nodes import (
     MapExit,
     NestedSDFG,
     Node,
+    ScheduleType,
     Tasklet,
 )
 from ..ir.state import SDFGState
@@ -372,6 +373,13 @@ def _execute_scope_body(ctx: _Context, state: SDFGState, entry: MapEntry,
         s = step.evaluate(env)
         iteration.append(range(b, e + 1, s))
     body = scope_order[entry]
+    if entry.map.schedule == ScheduleType.CPU_Multicore and iteration \
+            and iteration[0]:
+        from . import parallel as _parallel
+
+        if _parallel.maybe_parallel_scope(ctx, state, entry, env,
+                                          scope_order, iteration):
+            return
     for point in itertools.product(*iteration):
         inner_env = dict(env)
         inner_env.update(zip(entry.map.params, point))

@@ -10,7 +10,8 @@ from typing import Callable, Dict
 
 import numpy as np
 
-__all__ = ["WCR_APPLY", "WCR_UFUNC", "WCR_IDENTITY", "apply_wcr"]
+__all__ = ["WCR_APPLY", "WCR_UFUNC", "WCR_IDENTITY", "apply_wcr",
+           "wcr_identity", "identity_like"]
 
 #: scalar combine functions
 WCR_APPLY: Dict[str, Callable] = {
@@ -32,7 +33,10 @@ WCR_UFUNC: Dict[str, np.ufunc] = {
     "logical_or": np.logical_or,
 }
 
-#: identity element per WCR function (for initializing accumulators)
+#: identity element per WCR function, as Python floats/bools.  Kept for
+#: backward compatibility; accumulator initialization must go through
+#: :func:`wcr_identity`, which is dtype-aware (``float("inf")`` crashes when
+#: written into an integer array and silently casts in a float32 one).
 WCR_IDENTITY: Dict[str, float] = {
     "sum": 0.0,
     "prod": 1.0,
@@ -41,6 +45,41 @@ WCR_IDENTITY: Dict[str, float] = {
     "logical_and": True,
     "logical_or": False,
 }
+
+
+def wcr_identity(wcr: str, dtype) -> np.generic:
+    """The identity element of a WCR function *typed to the storage dtype*.
+
+    Integer min/max use the ``np.iinfo`` bounds (there is no integer
+    infinity), logical functions use booleans, and everything else is a
+    dtype-typed zero/one so no implicit cast happens at initialization.
+    """
+    dt = np.dtype(dtype)
+    if wcr == "sum":
+        return dt.type(0)
+    if wcr == "prod":
+        return dt.type(1)
+    if wcr in ("logical_and", "logical_or"):
+        return np.bool_(wcr == "logical_and") if dt == np.bool_ \
+            else dt.type(1 if wcr == "logical_and" else 0)
+    if wcr in ("min", "max"):
+        if dt == np.bool_:
+            return np.bool_(wcr == "min")
+        if np.issubdtype(dt, np.integer):
+            info = np.iinfo(dt)
+            return dt.type(info.max if wcr == "min" else info.min)
+        return dt.type(np.inf if wcr == "min" else -np.inf)
+    raise KeyError(f"unknown WCR function {wcr!r}")
+
+
+def identity_like(array: np.ndarray, wcr: str) -> np.ndarray:
+    """A fresh array shaped like *array*, filled with the WCR identity.
+
+    Per-worker accumulators start from this so merging them back with
+    :func:`apply_wcr` is a no-op on elements a chunk never touched.
+    """
+    return np.full(array.shape, wcr_identity(wcr, array.dtype),
+                   dtype=array.dtype)
 
 
 def apply_wcr(storage: np.ndarray, slices, value, wcr: str) -> None:

@@ -1,17 +1,27 @@
 """CPU device pass (§3.1): multicore schedules with OpenMP-collapse
-semantics on top-level maps."""
+semantics on top-level maps.
+
+Promotion is safety-gated on the static race detector
+(:mod:`repro.sanitizer.races`): a map becomes ``CPU_Multicore`` only with a
+``race-free`` verdict — injective writes, or commutative WCR accumulation
+(which the runtime privatizes per worker).  ``unproved`` and ``race`` maps
+are pinned to ``Sequential`` so the decision is explicit in the IR and the
+pass reaches a fixed point.
+"""
 
 from __future__ import annotations
 
 from ...ir.nodes import MapEntry, ScheduleType
+from ...sanitizer.races import RACE_FREE, analyze_map
 from ..base import Transformation
 
 __all__ = ["CPUParallelize"]
 
 
 class CPUParallelize(Transformation):
-    """Schedule top-level maps as CPU_Multicore and collapse all dimensions
-    (the OpenMP ``collapse`` clause analogue)."""
+    """Schedule top-level race-free maps as CPU_Multicore and collapse all
+    dimensions (the OpenMP ``collapse`` clause analogue); everything the
+    detector cannot prove safe stays sequential."""
 
     @classmethod
     def matches(cls, sdfg, **options):
@@ -24,6 +34,9 @@ class CPUParallelize(Transformation):
 
     @classmethod
     def apply_match(cls, sdfg, match, **options) -> None:
-        _state, entry = match
-        entry.map.schedule = ScheduleType.CPU_Multicore
-        entry.map.collapse = len(entry.map.params)
+        state, entry = match
+        if analyze_map(state, entry, sdfg).verdict == RACE_FREE:
+            entry.map.schedule = ScheduleType.CPU_Multicore
+            entry.map.collapse = len(entry.map.params)
+        else:
+            entry.map.schedule = ScheduleType.Sequential

@@ -1,0 +1,524 @@
+"""Tests for the multicore CPU execution backend (DESIGN.md §11): the
+race-free scheduling gate, dtype-aware WCR identities, chunked pool
+dispatch on both backends, deterministic serial fallbacks, and the
+thread-variant cache keys."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+import repro.dtypes as dt
+from repro.codegen import compile_sdfg
+from repro.config import Config
+from repro.ir.memlet import Memlet
+from repro.ir.nodes import MapEntry, ScheduleType
+from repro.ir.sdfg import SDFG
+from repro.runtime import parallel
+from repro.runtime.executor import run_sdfg
+from repro.runtime.wcr import WCR_IDENTITY, identity_like, wcr_identity
+from repro.symbolic import Range
+
+N = 400
+
+
+@pytest.fixture(autouse=True)
+def _fresh_parallel_state():
+    parallel.reset_stats()
+    yield
+    parallel.shutdown_pool()
+    parallel.reset_stats()
+
+
+def reduce_sdfg(dtype, wcr, code="o = a"):
+    """A 1-D reduction over A into out[0] through a WCR memlet."""
+    sdfg = SDFG("red")
+    sdfg.add_array("A", (N,), dtype)
+    sdfg.add_array("out", (1,), dtype)
+    st = sdfg.add_state("s")
+    st.add_mapped_tasklet(
+        "red", {"i": (0, N - 1, 1)},
+        {"a": Memlet("A", Range.from_string("i"))},
+        code,
+        {"o": Memlet("out", Range.from_string("0"), wcr=wcr)})
+    return sdfg
+
+
+def mark_multicore(sdfg):
+    for state in sdfg.states():
+        scope = state.scope_dict()
+        for node in state.nodes():
+            if isinstance(node, MapEntry) and scope.get(node) is None:
+                node.map.schedule = ScheduleType.CPU_Multicore
+    return sdfg
+
+
+# ---------------------------------------------------------------------------
+# satellite 1: dtype-aware WCR identities
+# ---------------------------------------------------------------------------
+
+class TestWcrIdentity:
+    @pytest.mark.parametrize("npdt", [np.int32, np.int64, np.float32,
+                                      np.float64])
+    def test_sum_prod_zero_one_typed(self, npdt):
+        zero = wcr_identity("sum", npdt)
+        one = wcr_identity("prod", npdt)
+        assert zero == 0 and one == 1
+        assert zero.dtype == np.dtype(npdt)
+        assert one.dtype == np.dtype(npdt)
+
+    @pytest.mark.parametrize("npdt", [np.int32, np.int64, np.uint8])
+    def test_integer_min_max_use_iinfo_bounds(self, npdt):
+        info = np.iinfo(npdt)
+        assert wcr_identity("min", npdt) == info.max
+        assert wcr_identity("max", npdt) == info.min
+        assert wcr_identity("min", npdt).dtype == np.dtype(npdt)
+
+    def test_float_min_max_are_infinities(self):
+        assert wcr_identity("min", np.float64) == np.inf
+        assert wcr_identity("max", np.float32) == -np.inf
+
+    def test_bool_identities(self):
+        assert wcr_identity("logical_and", np.bool_) == True  # noqa: E712
+        assert wcr_identity("logical_or", np.bool_) == False  # noqa: E712
+        assert wcr_identity("min", np.bool_) == True  # noqa: E712
+        assert wcr_identity("max", np.bool_) == False  # noqa: E712
+        assert wcr_identity("sum", np.bool_).dtype == np.dtype(np.bool_)
+
+    def test_unknown_wcr_raises(self):
+        with pytest.raises(KeyError):
+            wcr_identity("xor", np.int32)
+
+    def test_identity_like_matches_shape_and_dtype(self):
+        a = np.empty((3, 5), dtype=np.int32)
+        ident = identity_like(a, "min")
+        assert ident.shape == a.shape and ident.dtype == a.dtype
+        assert (ident == np.iinfo(np.int32).max).all()
+
+    def test_legacy_float_table_still_exported(self):
+        # older call sites index the float table directly
+        assert WCR_IDENTITY["sum"] == 0.0
+        assert WCR_IDENTITY["min"] == float("inf")
+
+
+# ---------------------------------------------------------------------------
+# chunk partitioning
+# ---------------------------------------------------------------------------
+
+class TestChunkBounds:
+    @pytest.mark.parametrize("n,parts", [(1, 4), (4, 4), (10, 3), (400, 7),
+                                         (5, 100)])
+    def test_partition_properties(self, n, parts):
+        bounds = parallel._chunk_bounds(n, parts)
+        # covers [0, n) exactly, contiguously, balanced to within one
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (alo, ahi), (blo, bhi) in zip(bounds, bounds[1:]):
+            assert ahi == blo
+        sizes = [hi - lo for lo, hi in bounds]
+        assert all(s > 0 for s in sizes)
+        assert max(sizes) - min(sizes) <= 1
+        assert len(bounds) <= min(parts, n)
+
+
+# ---------------------------------------------------------------------------
+# tentpole: the race-free scheduling gate
+# ---------------------------------------------------------------------------
+
+class TestScheduleGate:
+    def test_race_free_map_promoted(self):
+        from repro.transformations.device.cpu_transform import CPUParallelize
+
+        sdfg = SDFG("ok")
+        sdfg.add_array("A", (N,), dt.float64)
+        sdfg.add_array("B", (N,), dt.float64)
+        st = sdfg.add_state("s")
+        st.add_mapped_tasklet(
+            "copy", {"i": (0, N - 1, 1)},
+            {"a": Memlet("A", Range.from_string("i"))}, "o = a * 2.0",
+            {"o": Memlet("B", Range.from_string("i"))})
+        CPUParallelize.apply_repeated(sdfg)
+        scheds = [n.map.schedule for state in sdfg.states()
+                  for n in state.nodes() if isinstance(n, MapEntry)]
+        assert scheds == [ScheduleType.CPU_Multicore]
+
+    def test_racy_map_pinned_sequential(self):
+        from repro.transformations.device.cpu_transform import CPUParallelize
+
+        sdfg = SDFG("racy")
+        sdfg.add_array("A", (N,), dt.float64)
+        sdfg.add_array("B", (1,), dt.float64)
+        st = sdfg.add_state("s")
+        # non-WCR write of every iteration into B[0]: a provable race
+        st.add_mapped_tasklet(
+            "race", {"i": (0, N - 1, 1)},
+            {"a": Memlet("A", Range.from_string("i"))}, "o = a",
+            {"o": Memlet("B", Range.from_string("0"))})
+        CPUParallelize.apply_repeated(sdfg)
+        scheds = [n.map.schedule for state in sdfg.states()
+                  for n in state.nodes() if isinstance(n, MapEntry)]
+        # pinned Sequential (never CPU_Multicore), and pinning means
+        # apply_repeated reached a fixed point instead of looping
+        assert scheds == [ScheduleType.Sequential]
+
+    def test_wcr_map_is_race_free_and_promoted(self):
+        from repro.transformations.device.cpu_transform import CPUParallelize
+
+        sdfg = reduce_sdfg(dt.float64, "sum")
+        CPUParallelize.apply_repeated(sdfg)
+        scheds = [n.map.schedule for state in sdfg.states()
+                  for n in state.nodes() if isinstance(n, MapEntry)]
+        assert scheds == [ScheduleType.CPU_Multicore]
+
+    def test_schedule_survives_serialization(self):
+        from repro.ir.serialize import sdfg_from_json
+
+        sdfg = mark_multicore(reduce_sdfg(dt.float64, "sum"))
+        rt = sdfg_from_json(sdfg.to_json())
+        scheds = [n.map.schedule for state in rt.states()
+                  for n in state.nodes() if isinstance(n, MapEntry)]
+        assert scheds == [ScheduleType.CPU_Multicore]
+
+
+# ---------------------------------------------------------------------------
+# WCR reductions across dtypes on every tier (satellite 4)
+# ---------------------------------------------------------------------------
+
+REDUCE_CASES = [
+    (dt.float64, np.float64, "sum"),
+    (dt.float32, np.float32, "sum"),
+    (dt.int32, np.int32, "sum"),
+    (dt.int64, np.int64, "max"),
+    (dt.int32, np.int32, "min"),
+]
+
+
+def _reduce_expect(A, wcr):
+    return {"sum": A.sum(), "min": A.min(), "max": A.max()}[wcr]
+
+
+class TestParallelWcrReduce:
+    @pytest.mark.parametrize("dtype,npdt,wcr", REDUCE_CASES)
+    def test_vectorized_parallel(self, dtype, npdt, wcr):
+        rng = np.random.default_rng(0)
+        A = (rng.random(N) * 100).astype(npdt)
+        with Config.override(device__cpu_threads=4, parallel__min_work=0):
+            compiled = compile_sdfg(mark_multicore(reduce_sdfg(dtype, wcr)),
+                                    cache=False)
+            assert "__par_map" in compiled.source
+            out = np.full(1, wcr_identity(wcr, npdt), dtype=npdt)
+            compiled(A=A, out=out)
+        expect = _reduce_expect(A, wcr)
+        np.testing.assert_allclose(
+            out[0], expect, rtol=1e-6 if npdt is np.float32 else 1e-12)
+        assert parallel.stats().parallel_regions >= 1
+        assert parallel.stats().chunks >= 2
+
+    @pytest.mark.parametrize("dtype,npdt,wcr", REDUCE_CASES)
+    def test_interpreter_parallel(self, dtype, npdt, wcr):
+        rng = np.random.default_rng(1)
+        A = (rng.random(N) * 100).astype(npdt)
+        with Config.override(device__cpu_threads=4, parallel__min_work=0):
+            out = np.full(1, wcr_identity(wcr, npdt), dtype=npdt)
+            run_sdfg(mark_multicore(reduce_sdfg(dtype, wcr)), A=A, out=out)
+        np.testing.assert_allclose(
+            out[0], _reduce_expect(A, wcr),
+            rtol=1e-6 if npdt is np.float32 else 1e-12)
+        assert parallel.stats().parallel_regions >= 1
+
+    @pytest.mark.parametrize("dtype,npdt,wcr", [(dt.float64, np.float64, "sum"),
+                                                (dt.int32, np.int32, "min")])
+    def test_compiled_loop_fallback_parallel(self, dtype, npdt, wcr):
+        # referencing the map parameter by name defeats vectorization,
+        # forcing the compiled module onto the interpreter fallback for
+        # this scope — which must still dispatch CPU_Multicore chunks
+        code = "o = a + (i - i)"
+        rng = np.random.default_rng(2)
+        A = (rng.random(N) * 100).astype(npdt)
+        ref = A
+        with Config.override(device__cpu_threads=4, parallel__min_work=0):
+            compiled = compile_sdfg(
+                mark_multicore(reduce_sdfg(dtype, wcr, code=code)),
+                cache=False)
+            assert "__par_map" not in compiled.source
+            out = np.full(1, wcr_identity(wcr, npdt), dtype=npdt)
+            compiled(A=A, out=out)
+        np.testing.assert_allclose(out[0], _reduce_expect(ref, wcr),
+                                   rtol=1e-12)
+        assert parallel.stats().parallel_regions >= 1
+
+    def test_bool_logical_reductions(self):
+        for wcr, expect in (("logical_and", False), ("logical_or", True)):
+            sdfg = mark_multicore(reduce_sdfg(dt.bool_, wcr))
+            A = np.zeros(N, dtype=np.bool_)
+            A[N // 2] = True        # mixed: and -> False, or -> True
+            out = np.full(1, wcr_identity(wcr, np.bool_), dtype=np.bool_)
+            with Config.override(device__cpu_threads=4, parallel__min_work=0):
+                run_sdfg(sdfg, A=A, out=out)
+            assert out[0] == expect
+
+    def test_elementwise_parallel_matches_serial(self):
+        sdfg = SDFG("axpy")
+        sdfg.add_array("X", (N,), dt.float64)
+        sdfg.add_array("Y", (N,), dt.float64)
+        st = sdfg.add_state("s")
+        st.add_mapped_tasklet(
+            "axpy", {"i": (0, N - 1, 1)},
+            {"x": Memlet("X", Range.from_string("i")),
+             "y": Memlet("Y", Range.from_string("i"))},
+            "o = 2.0 * x + y",
+            {"o": Memlet("Y", Range.from_string("i"))})
+        rng = np.random.default_rng(3)
+        X = rng.random(N)
+        Y0 = rng.random(N)
+        Y_serial, Y_par = Y0.copy(), Y0.copy()
+        with Config.override(device__cpu_threads=1):
+            compile_sdfg(mark_multicore(sdfg.clone()),
+                         cache=False)(X=X, Y=Y_serial)
+        with Config.override(device__cpu_threads=4, parallel__min_work=0):
+            compile_sdfg(mark_multicore(sdfg.clone()),
+                         cache=False)(X=X, Y=Y_par)
+        np.testing.assert_array_equal(Y_serial, Y_par)
+        assert parallel.stats().parallel_regions >= 1
+
+
+# ---------------------------------------------------------------------------
+# satellite 3: cross-connector alias rejection in _try_vector_scope
+# ---------------------------------------------------------------------------
+
+def shifted_store_sdfg():
+    """One tasklet writing A[i] and A[i+1] through different connectors:
+    element-wise order matters, so vectorization must refuse."""
+    sdfg = SDFG("alias")
+    sdfg.add_array("A", (N + 1,), dt.float64)
+    sdfg.add_array("B", (N,), dt.float64)
+    st = sdfg.add_state("s")
+    st.add_mapped_tasklet(
+        "shift", {"i": (0, N - 1, 1)},
+        {"b": Memlet("B", Range.from_string("i"))},
+        "o1 = b\no2 = b + 1.0",
+        {"o1": Memlet("A", Range.from_string("i")),
+         "o2": Memlet("A", Range.from_string("i + 1"))})
+    return sdfg
+
+
+class TestVectorAliasRejection:
+    def test_shifted_stores_not_vectorized(self):
+        compiled = compile_sdfg(shifted_store_sdfg(), cache=False)
+        assert "make_slice" not in compiled.source  # fell back to the loop
+
+    def test_shifted_stores_semantics_match_interpreter(self):
+        rng = np.random.default_rng(4)
+        B = rng.random(N)
+        A_c = np.zeros(N + 1)
+        A_i = np.zeros(N + 1)
+        compile_sdfg(shifted_store_sdfg(), cache=False)(A=A_c, B=B)
+        run_sdfg(shifted_store_sdfg(), A=A_i, B=B)
+        np.testing.assert_array_equal(A_c, A_i)
+        # serial semantics: iteration i overwrites iteration i-1's o2 store
+        np.testing.assert_array_equal(A_c[:N], B)
+        assert A_c[N] == B[N - 1] + 1.0
+
+    def test_identical_subset_stores_still_vectorize(self):
+        sdfg = SDFG("dup")
+        sdfg.add_array("A", (N,), dt.float64)
+        sdfg.add_array("B", (N,), dt.float64)
+        st = sdfg.add_state("s")
+        st.add_mapped_tasklet(
+            "dup", {"i": (0, N - 1, 1)},
+            {"b": Memlet("B", Range.from_string("i"))},
+            "o1 = b\no2 = b * 2.0",
+            {"o1": Memlet("A", Range.from_string("i")),
+             "o2": Memlet("A", Range.from_string("i"))})
+        compiled = compile_sdfg(sdfg, cache=False)
+        assert "make_slice" in compiled.source
+        B = np.arange(N, dtype=np.float64)
+        A = np.zeros(N)
+        compiled(A=A, B=B)
+        np.testing.assert_array_equal(A, B * 2.0)  # last store wins, as serial
+
+
+# ---------------------------------------------------------------------------
+# runtime gating: thresholds, nesting, pool failure, env resolution
+# ---------------------------------------------------------------------------
+
+class TestRuntimeGating:
+    def test_min_work_keeps_small_maps_serial(self):
+        A = np.random.default_rng(5).random(N)
+        out = np.zeros(1)
+        with Config.override(device__cpu_threads=4,
+                             parallel__min_work=10**9):
+            compile_sdfg(mark_multicore(reduce_sdfg(dt.float64, "sum")),
+                         cache=False)(A=A, out=out)
+        assert parallel.stats().parallel_regions == 0
+        assert parallel.stats().serial_regions >= 1
+        np.testing.assert_allclose(out[0], A.sum())
+
+    def test_single_thread_config_is_serial(self):
+        A = np.random.default_rng(6).random(N)
+        out = np.zeros(1)
+        with Config.override(device__cpu_threads=1, parallel__min_work=0):
+            compile_sdfg(mark_multicore(reduce_sdfg(dt.float64, "sum")),
+                         cache=False)(A=A, out=out)
+        assert parallel.stats().parallel_regions == 0
+        np.testing.assert_allclose(out[0], A.sum())
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setattr(parallel, "get_pool", lambda size: None)
+        A = np.random.default_rng(7).random(N)
+        out = np.zeros(1)
+        with Config.override(device__cpu_threads=4, parallel__min_work=0):
+            compile_sdfg(mark_multicore(reduce_sdfg(dt.float64, "sum")),
+                         cache=False)(A=A, out=out)
+        np.testing.assert_allclose(out[0], A.sum())
+        assert parallel.stats().pool_failures >= 1
+
+    def test_nested_regions_run_serial_in_workers(self):
+        seen = []
+
+        def body(lo, hi, acc):
+            seen.append(parallel.in_worker())
+            # a nested region inside a worker must not re-enter the pool
+            parallel.parallel_map(lambda l, h, a: None, 0, 9, 1, 10**9, {})
+
+        with Config.override(device__cpu_threads=2, parallel__min_work=0):
+            parallel.parallel_map(body, 0, 99, 1, 10**9, {})
+        assert seen and all(seen)
+        assert parallel.stats().parallel_regions == 1  # outer only
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CPU_THREADS", "3")
+        with Config.override(device__cpu_threads=0):
+            assert parallel.configured_threads() == 3
+        with Config.override(device__cpu_threads=7):
+            assert parallel.configured_threads() == 7  # config wins
+
+    def test_exception_in_chunk_propagates(self):
+        def body(lo, hi, acc):
+            raise ValueError("chunk boom")
+
+        with Config.override(device__cpu_threads=2, parallel__min_work=0):
+            with pytest.raises(ValueError, match="chunk boom"):
+                parallel.parallel_map(body, 0, 99, 1, 10**9, {})
+
+
+# ---------------------------------------------------------------------------
+# cache: thread-variant keys (satellite of the tentpole)
+# ---------------------------------------------------------------------------
+
+class TestThreadVariantCacheKey:
+    def test_config_digest_varies_with_threads(self):
+        from repro.cache.fingerprint import config_digest
+
+        with Config.override(device__cpu_threads=1):
+            d1 = config_digest()
+        with Config.override(device__cpu_threads=4):
+            d4 = config_digest()
+        assert d1 != d4
+
+    def test_cache_key_varies_with_threads(self):
+        from repro.cache.fingerprint import cache_key
+
+        sdfg = reduce_sdfg(dt.float64, "sum")
+        with Config.override(device__cpu_threads=1):
+            k1 = cache_key(sdfg)
+        with Config.override(device__cpu_threads=4):
+            k4 = cache_key(sdfg)
+        assert k1 != k4
+
+
+# ---------------------------------------------------------------------------
+# satellite 2: counter thread-safety
+# ---------------------------------------------------------------------------
+
+class TestCounterThreadSafety:
+    def test_cache_stats_bump_is_atomic(self):
+        from repro.cache.store import CacheStats
+
+        st = CacheStats()
+        threads = [threading.Thread(
+            target=lambda: [st.bump("misses") for _ in range(2000)])
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert st.misses == 8 * 2000
+
+    def test_profile_collector_add_is_atomic(self):
+        from repro.instrumentation import ProfileCollector
+
+        coll = ProfileCollector("t")
+        threads = [threading.Thread(
+            target=lambda: [coll.add("parallel", "chunk", 0.001)
+                            for _ in range(2000)])
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stat = coll.report().get("parallel", "chunk")
+        assert stat is not None and stat.count == 8 * 2000
+
+    def test_parallel_stats_bump_is_atomic(self):
+        st = parallel.ParallelStats()
+        threads = [threading.Thread(
+            target=lambda: [st.bump("chunks") for _ in range(2000)])
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert st.to_dict()["chunks"] == 8 * 2000
+
+
+# ---------------------------------------------------------------------------
+# instrumentation: per-worker region timers
+# ---------------------------------------------------------------------------
+
+class TestParallelInstrumentation:
+    def test_chunk_timers_recorded(self):
+        from repro.instrumentation import profile
+
+        A = np.random.default_rng(8).random(N)
+        out = np.zeros(1)
+        with Config.override(device__cpu_threads=4, parallel__min_work=0):
+            compiled = compile_sdfg(
+                mark_multicore(reduce_sdfg(dt.float64, "sum")), cache=False)
+            with profile("red") as prof:
+                compiled(A=A, out=out)
+        report = prof.report()
+        stats = report.by_category("parallel")
+        assert stats and sum(s.count for s in stats) >= 2  # one per chunk
+
+
+# ---------------------------------------------------------------------------
+# differential oracle: parallel vs serial (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+class TestParallelOracle:
+    def test_oracle_tolerance_equal_under_threads(self):
+        from repro.sanitizer.oracle import run_oracle
+
+        M = repro.symbol("M")
+
+        @repro.program
+        def work(A: repro.float64[M], B: repro.float64[M]):
+            B[:] = A * 2.0 + 1.0
+
+        with Config.override(device__cpu_threads=4, parallel__min_work=0):
+            report = run_oracle(work, symbols={"M": 256}, seed=0)
+        assert report.verdict == "ok", report.stages
+
+    def test_oracle_reduction_under_threads(self):
+        from repro.sanitizer.oracle import run_oracle
+
+        M = repro.symbol("M")
+
+        @repro.program
+        def total(A: repro.float64[M], out: repro.float64[1]):
+            out[0] = np.sum(A)
+
+        with Config.override(device__cpu_threads=4, parallel__min_work=0):
+            report = run_oracle(total, symbols={"M": 256}, seed=1)
+        assert report.verdict == "ok", report.stages
