@@ -7,12 +7,14 @@ Public API mirrors the paper's ``dace`` module: the ``@program`` decorator,
 explicit-communication ``comm`` namespace for distributed programs.
 """
 
-from . import instrumentation, sanitizer
+from . import governor, instrumentation, sanitizer
 from .config import Config
 from .dtypes import (bool_, complex64, complex128, float32, float64, int8,
                      int16, int32, int64, symbol, uint8, uint16, uint32,
                      uint64)
 from .frontend.decorator import DaceProgram, map_marker as map, program
+from .governor import (Budget, CircuitOpenError, ExecutionTimeout,
+                       GovernorError, MemoryBudgetExceeded)
 from .instrumentation import ProfileCollector, ProfileReport, profile
 from .ir import SDFG, InterstateEdge, Memlet, SDFGState
 from .resilience import FailureReport, ResilienceWarning
@@ -27,6 +29,8 @@ __all__ = [
     "FailureReport", "ResilienceWarning",
     "instrumentation", "profile", "ProfileCollector", "ProfileReport",
     "sanitizer", "SanitizerError",
+    "governor", "Budget", "GovernorError", "ExecutionTimeout",
+    "MemoryBudgetExceeded", "CircuitOpenError",
     "bool_", "int8", "int16", "int32", "int64",
     "uint8", "uint16", "uint32", "uint64",
     "float32", "float64", "complex64", "complex128",

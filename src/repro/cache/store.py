@@ -99,6 +99,7 @@ class CacheEntry:
     device: str = "CPU"
     instrument: bool = False
     sanitize: bool = False
+    govern: bool = False
     optimize: str = ""
     created_utc: str = ""
     checksum: str = ""
@@ -122,6 +123,7 @@ class CacheEntry:
             "device": self.device,
             "instrument": self.instrument,
             "sanitize": self.sanitize,
+            "govern": self.govern,
             "optimize": self.optimize,
             "created_utc": self.created_utc,
             "checksum": self.checksum,
@@ -141,6 +143,7 @@ class CacheEntry:
             device=d.get("device", "CPU"),
             instrument=bool(d.get("instrument", False)),
             sanitize=bool(d.get("sanitize", False)),
+            govern=bool(d.get("govern", False)),
             optimize=d.get("optimize", ""),
             created_utc=d.get("created_utc", ""),
             checksum=d.get("checksum", ""),

@@ -33,13 +33,15 @@ class CompiledSDFG:
     """
 
     def __init__(self, sdfg, device: str = "CPU", instrument: bool = False,
-                 sanitize: bool = False, validate: bool = True):
+                 sanitize: bool = False, govern: bool = False,
+                 validate: bool = True):
         from .pygen import generate_payload
 
         self.sdfg = sdfg
         self.device = device
         self.instrumented = instrument
         self.sanitized = sanitize
+        self.governed = govern
         #: True when rehydrated from the compilation cache
         self.from_cache = False
         coll = instrumentation._ACTIVE
@@ -52,7 +54,7 @@ class CompiledSDFG:
                 coll.add("phase", "validate", self.validate_seconds)
         start = time.perf_counter()
         self._run, self.source, self.closure_specs = generate_payload(
-            sdfg, instrument=instrument, sanitize=sanitize)
+            sdfg, instrument=instrument, sanitize=sanitize, govern=govern)
         self.codegen_seconds = time.perf_counter() - start
         if coll is not None:
             coll.add("phase", "codegen", self.codegen_seconds)
@@ -65,7 +67,8 @@ class CompiledSDFG:
     def from_cached(cls, sdfg, run, source: str,
                     closure_specs: Optional[Dict[str, Tuple[int, int]]] = None,
                     device: str = "CPU", instrument: bool = False,
-                    sanitize: bool = False) -> "CompiledSDFG":
+                    sanitize: bool = False,
+                    govern: bool = False) -> "CompiledSDFG":
         """Wrap an already-rehydrated module (cache hit): no validation, no
         code generation."""
         obj = cls.__new__(cls)
@@ -73,6 +76,7 @@ class CompiledSDFG:
         obj.device = device
         obj.instrumented = instrument
         obj.sanitized = sanitize
+        obj.governed = govern
         obj.from_cache = True
         obj.validate_seconds = 0.0
         obj._run = run
@@ -112,7 +116,7 @@ class CompiledSDFG:
 
 
 def compile_sdfg(sdfg, device: str = "CPU", instrument: bool = False,
-                 sanitize: bool = False,
+                 sanitize: bool = False, govern: bool = False,
                  cache: Optional[bool] = None) -> CompiledSDFG:
     """Compile an SDFG into an executable specialized module.
 
@@ -129,6 +133,6 @@ def compile_sdfg(sdfg, device: str = "CPU", instrument: bool = False,
         from ..cache import cached_compile
 
         return cached_compile(sdfg, device=device, instrument=instrument,
-                              sanitize=sanitize)
+                              sanitize=sanitize, govern=govern)
     return CompiledSDFG(sdfg, device=device, instrument=instrument,
-                        sanitize=sanitize)
+                        sanitize=sanitize, govern=govern)

@@ -804,7 +804,8 @@ def _build_scope_order(state):
 # Module assembly
 # ---------------------------------------------------------------------------
 
-def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False
+def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False,
+                     govern: bool = False
                      ) -> Tuple[object, str, Dict[str, Tuple[int, int]]]:
     """Generate the specialized module for an SDFG.
 
@@ -817,8 +818,11 @@ def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False
     With ``instrument=True`` the module carries per-state and per-map-scope
     timing hooks that report to :mod:`repro.instrumentation`; with
     ``sanitize=True`` it carries index-bounds and NaN/Inf guard calls that
-    report to :mod:`repro.sanitizer.guards`.  Without the flags the
-    generated source is hook-free (the zero-overhead-when-off guarantee).
+    report to :mod:`repro.sanitizer.guards`; with ``govern=True`` it calls
+    the governor's cooperative-cancellation ``__tick`` at every state
+    boundary (deadline/cancel checks; :mod:`repro.governor.budget`).
+    Without the flags the generated source is hook-free (the
+    zero-overhead-when-off guarantee).
     """
     gen = _Generator(sdfg, instrument=instrument, sanitize=sanitize)
     states = sdfg.topological_states()
@@ -859,6 +863,9 @@ def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False
     # checkpoint/abort hook at every state boundary (a thread-local read
     # when no distributed checkpointer is installed; see resilience.hooks)
     lines.append("        __ckpt(__state, __c, __s)")
+    if govern:
+        # cooperative cancellation: deadline/cancel check per transition
+        lines.append("        __tick(__state)")
     lines.append("        __visits[__state] = __visits.get(__state, 0) + 1")
     for state in states:
         si = index[state]
@@ -895,12 +902,13 @@ def generate_payload(sdfg, instrument: bool = False, sanitize: bool = False
 
     source = "\n".join(lines) + "\n"
     run = _exec_module(sdfg, source, gen.closures, instrument=instrument,
-                       sanitize=sanitize)
+                       sanitize=sanitize, govern=govern)
     return run, source, _closure_specs(sdfg, gen.closure_nodes)
 
 
 def generate_module(sdfg, instrument: bool = False,
-                    sanitize: bool = False) -> Tuple[object, str]:
+                    sanitize: bool = False,
+                    govern: bool = False) -> Tuple[object, str]:
     """Generate the specialized module for an SDFG.
 
     Returns ``(run_callable, source)``; see :func:`generate_payload` for the
@@ -908,12 +916,13 @@ def generate_module(sdfg, instrument: bool = False,
     module on disk.
     """
     run, source, _ = generate_payload(sdfg, instrument=instrument,
-                                      sanitize=sanitize)
+                                      sanitize=sanitize, govern=govern)
     return run, source
 
 
 def rehydrate_module(sdfg, source: str, closure_specs: Dict[str, Sequence[int]],
-                     instrument: bool = False, sanitize: bool = False):
+                     instrument: bool = False, sanitize: bool = False,
+                     govern: bool = False):
     """Rebuild a module's ``run`` callable from cached *source* without
     re-running code generation.
 
@@ -929,7 +938,7 @@ def rehydrate_module(sdfg, source: str, closure_specs: Dict[str, Sequence[int]],
         node = state.nodes()[node_idx]
         closures[name] = _make_node_runner(sdfg, state, node)
     return _exec_module(sdfg, source, closures, instrument=instrument,
-                        sanitize=sanitize)
+                        sanitize=sanitize, govern=govern)
 
 
 def _make_node_runner(sdfg, state, node):
@@ -958,7 +967,7 @@ def _closure_specs(sdfg, closure_nodes: Dict[str, tuple]) -> Dict[str, Tuple[int
 
 
 def _exec_module(sdfg, source: str, closures: Dict[str, object],
-                 instrument: bool, sanitize: bool):
+                 instrument: bool, sanitize: bool, govern: bool = False):
     """Exec generated *source* in its execution namespace; return ``__run``."""
     import math as _math
 
@@ -1002,6 +1011,19 @@ def _exec_module(sdfg, source: str, closures: Dict[str, object],
 
         namespace["__guard_read"] = _sg.guard_read
         namespace["__guard_write"] = _sg.guard_write
+
+    if govern:
+        from ..governor import budget as _gb
+
+        labels = [s.label for s in sdfg.topological_states()]
+
+        def _tick(i, _labels=labels):
+            a = _gb.current()
+            if a is not None:
+                a.boundary(_labels[i] if 0 <= i < len(_labels)
+                           else f"state{i}")
+
+        namespace["__tick"] = _tick
 
     namespace["__alloc"] = lambda name, symbols: allocate_container(
         sdfg.arrays[name], symbols)

@@ -51,6 +51,18 @@ _DEFAULTS: Dict[str, Any] = {
     "resilience.max_restarts": 3,            # supervised restart budget
     "resilience.ckpt_dir": "",               # spill dir; "" -> $REPRO_CKPT_DIR
                                              # -> in-memory only
+    # Execution governor (see repro.governor and DESIGN.md §12)
+    "governor.deadline_s": 0.0,              # ambient wall-clock budget per
+                                             # run (0 = off)
+    "governor.max_bytes": 0,                 # admission-control memory
+                                             # budget (0 = off)
+    "governor.admission": "degrade",         # "degrade" tries the serial
+                                             # tier before rejecting;
+                                             # "strict" always rejects
+    "governor.breaker_threshold": 3,         # consecutive failures that
+                                             # open a program's circuit
+                                             # (0 = breaker off)
+    "governor.cooldown_s": 30.0,             # open -> half-open probe delay
     # Simulated device parameters (see repro.runtime.perfmodel)
     "gpu.kernel_launch_us": 6.0,
     "gpu.bandwidth_gbs": 790.0,              # V100-class HBM2

@@ -56,6 +56,7 @@ def run_distributed(program, size: int, grid: Optional[ProcessGrid] = None,
                     ckpt_interval: Optional[int] = None,
                     ckpt_comm_ops: Optional[int] = None,
                     max_restarts: Optional[int] = None,
+                    budget=None,
                     **kwargs) -> DistributedResult:
     """Run *program* (a DaceProgram or SDFG) on *size* simulated ranks.
 
@@ -64,17 +65,28 @@ def run_distributed(program, size: int, grid: Optional[ProcessGrid] = None,
     *fault_plan* injects communication faults and rank crashes;
     *ckpt_interval* / *ckpt_comm_ops* / *max_restarts* override the
     ``resilience.*`` checkpointing keys for this run.
+
+    *budget* (a :class:`repro.governor.Budget`) governs the whole launch:
+    each rank is armed with its per-rank slice against one absolute
+    deadline that survives supervisor restarts, each rank's memory plan is
+    admission-checked before its allocations, and a timed-out/rejected run
+    raises the structured governor error directly.
     """
     from ..codegen import compile_sdfg
     from ..frontend.decorator import DaceProgram
+    from ..governor.budget import Budget
     from ..ir.sdfg import SDFG
     from ..runtime.executor import prepare_arguments
 
+    budget = Budget.resolve(budget)
+    if budget.is_null:
+        budget = None
+    govern = budget is not None and budget.deadline_s is not None
     if isinstance(program, DaceProgram):
         sdfg = program.to_sdfg()
-        compiled = compile_sdfg(sdfg)
+        compiled = compile_sdfg(sdfg, govern=govern)
     elif isinstance(program, SDFG):
-        compiled = compile_sdfg(program)
+        compiled = compile_sdfg(program, govern=govern)
     else:
         raise TypeError(f"cannot run {program!r} distributed")
 
@@ -112,6 +124,13 @@ def run_distributed(program, size: int, grid: Optional[ProcessGrid] = None,
                 local_kwargs.setdefault("__GR1", grid_obj.dims[1])
             containers, symbols = prepare_arguments(
                 compiled.sdfg, (), local_kwargs)
+            if budget is not None and budget.max_bytes:
+                from ..governor.admission import admit
+
+                # strict per-rank admission: degrading one rank to a
+                # different tier would diverge the SPMD state machines
+                admit(compiled.sdfg, symbols, budget.per_rank(size),
+                      program=compiled.sdfg.name, allow_degrade=False)
             start_state = None
             if snapshot is not None:
                 # resume from the checkpoint boundary: restore container
@@ -131,7 +150,7 @@ def run_distributed(program, size: int, grid: Optional[ProcessGrid] = None,
     run = run_spmd_supervised(
         rank_fn, size, net=net, fault_plan=fault_plan, timeout_s=timeout_s,
         ckpt_interval=ckpt_interval, ckpt_comm_ops=ckpt_comm_ops,
-        max_restarts=max_restarts, reset=reset)
+        max_restarts=max_restarts, reset=reset, budget=budget)
     return DistributedResult(
         value=run.results[0], clocks=run.clocks, comm_stats=run.comm_stats,
         state_visits=visits_holder, per_rank_values=list(run.results),

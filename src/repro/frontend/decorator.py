@@ -49,7 +49,8 @@ class DaceProgram:
                  device: str = "CPU", fallback: Optional[bool] = None,
                  backend: str = "codegen",
                  instrument: Optional[str] = None,
-                 sanitize: Optional[str] = None):
+                 sanitize: Optional[str] = None,
+                 budget=None):
         functools.update_wrapper(self, func)
         self.func = func
         self.name = func.__name__
@@ -63,12 +64,17 @@ class DaceProgram:
         #: per-program sanitizer mode ("bounds,nan" etc.); None defers to
         #: the ``sanitize.mode`` configuration key
         self.sanitize = sanitize
+        #: per-program execution budget (repro.governor.Budget); None defers
+        #: to the ``governor.*`` configuration keys (off by default)
+        self.budget = budget
         #: ProfileReport of the most recent instrumented call
         self.last_profile = None
         #: degradation-chain attempts of the most recent degrade-mode call
         self.last_attempts: list = []
         self._sdfg_cache: Dict[Tuple, SDFG] = {}
         self._compiled_cache: Dict[Tuple, Any] = {}
+        #: desc-key -> content fingerprint, memoized for the circuit breaker
+        self._breaker_keys: Dict[Tuple, str] = {}
         #: absorbed failures (rollbacks, degradations) across all calls
         from ..resilience import FailureReport
 
@@ -179,15 +185,19 @@ class DaceProgram:
     # ---------------------------------------------------------------- execution
     def compile(self, *args, device: Optional[str] = None,
                 instrument: bool = False,
-                sanitize: Optional[bool] = None, **kwargs):
+                sanitize: Optional[bool] = None,
+                govern: Optional[bool] = None, **kwargs):
         """Ahead-of-time compile; returns a CompiledSDFG.
 
         ``instrument=True`` compiles a module with timing hooks (cached
         separately from the plain module); ``sanitize=True`` one with
         bounds/NaN guard calls (``sanitize=None`` defers to the program's
-        resolved sanitizer mode).  When a profile collector is active, the
-        compile phases (parse, autoopt, validate, codegen) report their wall
-        time to it — the Fig. 6 decomposition.
+        resolved sanitizer mode); ``govern=True`` one with cooperative
+        deadline-check ticks at state boundaries (``govern=None``
+        auto-detects an armed deadline on the calling thread).  When a
+        profile collector is active, the compile phases (parse, autoopt,
+        validate, codegen) report their wall time to it — the Fig. 6
+        decomposition.
 
         Compilation is keyed through the persistent content-addressed cache
         (:mod:`repro.cache`): a hit — even in a fresh process — rehydrates
@@ -206,13 +216,18 @@ class DaceProgram:
             sdfg = self.to_sdfg(*args, **kwargs)
         if sanitize is None:
             sanitize = bool(self._sanitize_mode())
+        if govern is None:
+            from ..governor import budget as _gb
+
+            active = _gb.current()
+            govern = active is not None and active.deadline is not None
         key = (self._desc_key(self.to_sdfg_descs(args, kwargs)), device,
-               self.auto_optimize, instrument, sanitize)
+               self.auto_optimize, instrument, sanitize, govern)
         if key in self._compiled_cache:
             return self._compiled_cache[key]
         compiled = cached_compile(
             sdfg, device=device, instrument=instrument, sanitize=sanitize,
-            optimize=device if self.auto_optimize else None)
+            govern=govern, optimize=device if self.auto_optimize else None)
         self._compiled_cache[key] = compiled
         return compiled
 
@@ -249,15 +264,26 @@ class DaceProgram:
         return "timers" if mode is True else str(mode)
 
     def __call__(self, *args, **kwargs):
+        # reserved keyword: a per-call governor budget (never a program arg)
+        budget = kwargs.pop("__budget", None)
         smode = self._sanitize_mode()
         if smode:
             from ..sanitizer import guards
 
             with guards.sanitize(smode, program=self.name):
-                return self._call_impl(args, kwargs)
-        return self._call_impl(args, kwargs)
+                return self._call_impl(args, kwargs, budget)
+        return self._call_impl(args, kwargs, budget)
 
-    def _call_impl(self, args, kwargs):
+    def _call_impl(self, args, kwargs, budget=None):
+        from ..governor import Budget
+
+        resolved = Budget.resolve(
+            budget if budget is not None else self.budget)
+        if not resolved.is_null:
+            return self._call_governed(args, kwargs, resolved)
+        return self._dispatch_call(args, kwargs)
+
+    def _dispatch_call(self, args, kwargs):
         if self._instrument_mode() != "off":
             return self._call_instrumented(args, kwargs)
         if Config.get("resilience.mode") == "degrade":
@@ -273,6 +299,95 @@ class DaceProgram:
                 return self.func(*args, **kwargs)
             raise
         return compiled(**self._bind_call_kwargs(args, kwargs))
+
+    # ------------------------------------------------------------- governor
+    def _breaker_key(self, args, kwargs) -> str:
+        """Circuit key: the content-addressed fingerprint of the parsed
+        graph (structurally identical programs share a circuit; any edit
+        gets a fresh, closed one).  Memoized per argument-descriptor
+        signature; falls back to the program name when parsing fails."""
+        try:
+            dkey = self._desc_key(self.to_sdfg_descs(args, kwargs))
+        except Exception:
+            return f"program:{self.name}"
+        cached = self._breaker_keys.get(dkey)
+        if cached is not None:
+            return cached
+        try:
+            from ..cache import fingerprint
+
+            key = fingerprint(self.to_sdfg(*args, **kwargs))
+        except Exception:
+            key = f"program:{self.name}"
+        self._breaker_keys[dkey] = key
+        return key
+
+    def _call_governed(self, args, kwargs, budget):
+        """Execute under a non-null budget: breaker gate, memory admission,
+        deadline arming (see DESIGN.md §12).
+
+        Compilation runs *before* the watchdog is armed — the deadline
+        bounds execution, not the (cached, one-time) compile.  Terminal
+        failures feed the program's circuit; an open circuit fast-fails
+        with the cached failure history before any re-parse or re-compile.
+        """
+        import time
+
+        from ..governor import CircuitOpenError, armed, breaker_registry
+
+        registry = breaker_registry()
+        key = self._breaker_key(args, kwargs)
+        registry.before_call(key, self.name)
+
+        decision = None
+        start = time.perf_counter()
+        try:
+            if budget.max_bytes:
+                decision = self._admit(args, kwargs, budget)
+            if budget.deadline_s:
+                # pre-warm the governed module outside the deadline window;
+                # dispatch re-raises compile errors with full context
+                try:
+                    self.compile(
+                        *args, govern=True,
+                        instrument=self._instrument_mode() != "off",
+                        **kwargs)
+                except Exception:
+                    pass
+            with armed(budget, program=self.name):
+                if decision is not None and decision.action == "degrade-serial":
+                    with Config.override(device__cpu_threads=1):
+                        result = self._dispatch_call(args, kwargs)
+                else:
+                    result = self._dispatch_call(args, kwargs)
+        except CircuitOpenError:
+            raise
+        except Exception as exc:
+            elapsed = time.perf_counter() - start
+            registry.record_failure(key, exc, program=self.name,
+                                    elapsed_s=elapsed)
+            self.failure_report.record(
+                "governor", self.name, exc, "terminal-failure",
+                seconds=elapsed)
+            raise
+        registry.record_success(key, self.name)
+        return result
+
+    def _admit(self, args, kwargs, budget):
+        """Price the planned allocations against ``budget.max_bytes``
+        before anything is allocated; returns the AdmissionDecision, or
+        None when the program cannot be parsed (the dispatch fallback
+        path owns that case)."""
+        from ..governor import admit
+        from ..runtime.executor import prepare_arguments
+
+        try:
+            sdfg = self.to_sdfg(*args, **kwargs)
+        except UnsupportedFeature:
+            return None
+        _, symbols = prepare_arguments(
+            sdfg, (), self._bind_call_kwargs(args, kwargs))
+        return admit(sdfg, symbols, budget, program=self.name)
 
     def _call_instrumented(self, args, kwargs):
         """Instrumented execution: compile phases, per-region timers, and
@@ -333,6 +448,7 @@ class DaceProgram:
         import time
 
         from .. import instrumentation
+        from ..governor import GovernorError
         from ..resilience import ResilienceWarning
 
         coll = instrumentation.current()
@@ -372,6 +488,10 @@ class DaceProgram:
             compiled = self.compile(*args, instrument=coll is not None,
                                     **kwargs)
             result = compiled(**self._bind_call_kwargs(args, kwargs))
+        except GovernorError:
+            # timeouts/cancellations are deterministic on slower tiers;
+            # degrading would re-run past the deadline unguarded
+            raise
         except Exception as exc:
             degrade("compiled", "interpreter", exc,
                     time.perf_counter() - start)
@@ -385,6 +505,8 @@ class DaceProgram:
 
             sdfg = self.to_sdfg(*args, **kwargs)
             result = run_sdfg(sdfg, **self._bind_call_kwargs(args, kwargs))
+        except GovernorError:
+            raise
         except Exception as exc:
             degrade("interpreter", "python", exc,
                     time.perf_counter() - start)
@@ -424,16 +546,19 @@ def _value_to_desc(value) -> Data:
 def program(func: Optional[Callable] = None, *, auto_optimize: bool = False,
             device: str = "CPU", fallback: Optional[bool] = None,
             backend: str = "codegen", instrument: Optional[str] = None,
-            sanitize: Optional[str] = None):
+            sanitize: Optional[str] = None, budget=None):
     """Decorator marking a function as a data-centric program.
 
     Usable bare (``@repro.program``) or with options
     (``@repro.program(auto_optimize=True, device="GPU")``).
     ``instrument="timers"`` forces profiling for this program;
     ``sanitize="bounds,nan"`` enables runtime guards (bounds/NaN checks in
-    both the interpreter and the generated module); either ``None``
-    (default) defers to the matching configuration key
-    (``instrument.mode`` / ``sanitize.mode``).
+    both the interpreter and the generated module);
+    ``budget=repro.Budget(deadline_s=..., max_bytes=...)`` governs every
+    call of this program (deadline + memory admission; DESIGN.md §12).
+    Each ``None`` (default) defers to the matching configuration keys
+    (``instrument.mode`` / ``sanitize.mode`` / ``governor.*``).  A single
+    call can also be governed via the reserved ``__budget`` keyword.
     """
     if func is not None:
         return DaceProgram(func)
@@ -441,6 +566,7 @@ def program(func: Optional[Callable] = None, *, auto_optimize: bool = False,
     def wrapper(f: Callable) -> DaceProgram:
         return DaceProgram(f, auto_optimize=auto_optimize, device=device,
                            fallback=fallback, backend=backend,
-                           instrument=instrument, sanitize=sanitize)
+                           instrument=instrument, sanitize=sanitize,
+                           budget=budget)
 
     return wrapper

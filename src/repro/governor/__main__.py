@@ -1,0 +1,41 @@
+"""CLI for the execution governor: ``python -m repro.governor sweep``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.governor",
+        description="Execution-governor tooling for the data-centric "
+                    "toolbox.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the bench corpus under hostile budgets; every run must "
+             "end in a structured governor outcome")
+    sweep.add_argument("--cases", default=None,
+                       help="comma-separated corpus subset "
+                            "(default: the built-in 8-program corpus)")
+    sweep.add_argument("--out", default="GOVERNOR.json")
+    sweep.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.command == "sweep":
+        from .sweep import governor_sweep
+
+        names = args.cases.split(",") if args.cases else None
+        report = governor_sweep(case_names=names, out=args.out,
+                                verbose=not args.quiet)
+        summary = report["summary"]
+        bad = (summary["failed"] or summary["unstructured"]
+               or not summary["breaker_demo_ok"])
+        return 1 if bad else 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,31 @@ class ResilienceWarning(RuntimeWarning):
     """Emitted whenever the resilience layer absorbs a failure."""
 
 
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce a value into JSON-serializable form.
+
+    Exception args and detail payloads routinely carry NumPy scalars and
+    arrays (e.g. a guard naming the offending value); ``json.dumps`` chokes
+    on those.  Scalars collapse to their Python equivalent, small arrays to
+    nested lists, and large arrays to a shape/dtype summary."""
+    import numpy as np
+
+    if isinstance(value, (int, float, bool, str, type(None))):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        if value.size <= 16:
+            return value.tolist()
+        return {"ndarray": {"shape": list(value.shape),
+                            "dtype": str(value.dtype)}}
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
 class FailureRecord:
     """One absorbed failure: what failed, at which phase, and the response."""
 
@@ -68,16 +93,15 @@ class FailureRecord:
                 f"{type(self.error).__name__}: {self.error}{extra})")
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable form (errors and details become strings)."""
-        detail = {k: (v if isinstance(v, (int, float, bool, str, type(None)))
-                      else str(v))
-                  for k, v in self.detail.items()}
+        """JSON-serializable form (errors and details are sanitized —
+        NumPy scalars/arrays in exception args must not break dumps)."""
         return {
             "kind": self.kind,
             "subject": self.subject,
             "error": f"{type(self.error).__name__}: {self.error}",
+            "error_args": [_json_safe(a) for a in self.error.args],
             "action": self.action,
-            "detail": detail,
+            "detail": {k: _json_safe(v) for k, v in self.detail.items()},
         }
 
 

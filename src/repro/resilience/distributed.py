@@ -32,6 +32,7 @@ discipline so a partially-written file is never observed.
 from __future__ import annotations
 
 import copy
+import hashlib
 import os
 import pickle
 import threading
@@ -42,6 +43,8 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from ..config import Config
+from ..governor.budget import Budget, GovernorError
+from ..governor.budget import armed as _governor_armed
 from ..simmpi.comm import (Comm, DeadlockError, SimMPIError, _AbortedByPeer,
                            _launch, _raise_failures, _World, primary_failures)
 from ..simmpi.netmodel import FaultPlan, NetModel
@@ -49,9 +52,17 @@ from . import hooks
 
 __all__ = [
     "RankSnapshot", "WorldCheckpoint", "CheckpointStore", "CheckpointManager",
-    "RecoveryEvent", "SupervisedRun", "UnrecoveredError", "classify_failure",
-    "run_spmd_supervised",
+    "RecoveryEvent", "SupervisedRun", "UnrecoveredError", "CheckpointCorrupt",
+    "classify_failure", "run_spmd_supervised",
 ]
+
+#: on-disk checkpoint format: magic + sha256(payload) + pickle payload
+_CKPT_MAGIC = b"RPCKPT01"
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A spilled checkpoint failed its integrity check (truncated file, bad
+    magic, or checksum mismatch)."""
 
 
 class UnrecoveredError(SimMPIError):
@@ -123,23 +134,42 @@ class WorldCheckpoint:
     comm: Dict[str, Any]             # from _World.snapshot_comm()
 
     def save(self, directory: str) -> str:
-        """Spill to disk atomically: write a temp file, then rename —
-        readers never observe a torn checkpoint."""
+        """Spill to disk atomically and checksummed: magic + sha256 digest
+        + pickle payload, written to a temp file then renamed — readers
+        never observe a torn checkpoint, and a bit-rotted one is *detected*
+        at load instead of restoring silently-corrupt rank state."""
         os.makedirs(directory, exist_ok=True)
         name = f"ckpt-epoch{self.epoch:04d}-state{self.boundary:04d}.pkl"
         path = os.path.join(directory, name)
         tmp = path + f".tmp.{os.getpid()}.{threading.get_ident()}"
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
         with open(tmp, "wb") as fh:
-            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(_CKPT_MAGIC)
+            fh.write(hashlib.sha256(payload).digest())
+            fh.write(payload)
         os.replace(tmp, path)
         return path
 
     @classmethod
     def load(cls, path: str) -> "WorldCheckpoint":
+        """Load and verify a spilled checkpoint; raises
+        :class:`CheckpointCorrupt` on any integrity violation."""
         with open(path, "rb") as fh:
-            ckpt = pickle.load(fh)
+            blob = fh.read()
+        header = len(_CKPT_MAGIC) + 32
+        if len(blob) < header:
+            raise CheckpointCorrupt(f"{path}: truncated checkpoint "
+                                    f"({len(blob)} bytes)")
+        if blob[:len(_CKPT_MAGIC)] != _CKPT_MAGIC:
+            raise CheckpointCorrupt(f"{path}: bad magic "
+                                    f"{blob[:len(_CKPT_MAGIC)]!r}")
+        digest = blob[len(_CKPT_MAGIC):header]
+        payload = blob[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise CheckpointCorrupt(f"{path}: checksum mismatch")
+        ckpt = pickle.loads(payload)
         if not isinstance(ckpt, cls):
-            raise TypeError(f"{path} does not hold a WorldCheckpoint")
+            raise CheckpointCorrupt(f"{path} does not hold a WorldCheckpoint")
         return ckpt
 
 
@@ -161,6 +191,33 @@ class CheckpointStore:
         self.commits += 1
         if self.spill_dir:
             self.paths.append(ckpt.save(self.spill_dir))
+
+    def load_latest_from_disk(self) -> Optional[WorldCheckpoint]:
+        """Newest valid spilled checkpoint, falling back past corrupt ones.
+
+        Mirrors the compile cache's detect-and-evict discipline
+        (:mod:`repro.cache.store`): a checkpoint that fails its integrity
+        check is deleted and the *previous* committed one is tried, so one
+        bit-rotted file costs some replay distance, never correctness.
+        When no paths were recorded (a fresh store pointed at an existing
+        spill dir), the directory is scanned instead."""
+        candidates = list(self.paths)
+        if not candidates and self.spill_dir and os.path.isdir(self.spill_dir):
+            candidates = sorted(
+                os.path.join(self.spill_dir, name)
+                for name in os.listdir(self.spill_dir)
+                if name.startswith("ckpt-") and name.endswith(".pkl"))
+        for path in reversed(candidates):
+            try:
+                return WorldCheckpoint.load(path)
+            except (CheckpointCorrupt, OSError):
+                if path in self.paths:
+                    self.paths.remove(path)
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -306,6 +363,19 @@ def classify_failure(exc: BaseException) -> bool:
     return False
 
 
+def _governor_failure(exc: BaseException) -> Optional[GovernorError]:
+    """The GovernorError on *exc*'s cause chain, if any (rank failures are
+    wrapped in SimMPIError by the launcher)."""
+    seen = set()
+    node: Optional[BaseException] = exc
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        if isinstance(node, GovernorError):
+            return node
+        node = node.__cause__ or node.__context__
+    return None
+
+
 def run_spmd_supervised(rank_fn: Callable[[Comm, Optional[RankSnapshot]], Any],
                         size: int,
                         net: Optional[NetModel] = None,
@@ -315,7 +385,8 @@ def run_spmd_supervised(rank_fn: Callable[[Comm, Optional[RankSnapshot]], Any],
                         ckpt_comm_ops: Optional[int] = None,
                         max_restarts: Optional[int] = None,
                         reset: Optional[Callable[[], None]] = None,
-                        spill_dir: Optional[str] = None) -> SupervisedRun:
+                        spill_dir: Optional[str] = None,
+                        budget: Optional[Budget] = None) -> SupervisedRun:
     """Run ``rank_fn(comm, snapshot)`` on *size* ranks under supervision.
 
     ``snapshot`` is None on a fresh start and the rank's
@@ -326,6 +397,14 @@ def run_spmd_supervised(rank_fn: Callable[[Comm, Optional[RankSnapshot]], Any],
     :class:`UnrecoveredError` (deadlocks re-raise directly with their
     diagnostic dump).  Parameters default to the ``resilience.*``
     configuration keys.
+
+    A governor *budget* arms every rank thread with its
+    :meth:`~repro.governor.Budget.per_rank` slice against ONE absolute
+    deadline fixed before the first epoch — restarts replay work but never
+    reset the clock, so a supervised run cannot restart-loop past its
+    deadline.  Governor errors are fatal (a timeout replays identically)
+    and re-raise directly rather than wrapped in
+    :class:`UnrecoveredError`.
     """
     from .. import instrumentation
 
@@ -334,8 +413,14 @@ def run_spmd_supervised(rank_fn: Callable[[Comm, Optional[RankSnapshot]], Any],
                 if ckpt_interval is None else ckpt_interval)
     comm_ops = (Config.get("resilience.ckpt_comm_ops")
                 if ckpt_comm_ops is None else ckpt_comm_ops)
-    budget = (Config.get("resilience.max_restarts")
-              if max_restarts is None else max_restarts)
+    budget_restarts = (Config.get("resilience.max_restarts")
+                       if max_restarts is None else max_restarts)
+    rank_budget: Optional[Budget] = None
+    deadline_at: Optional[float] = None
+    if budget is not None and not budget.is_null:
+        rank_budget = budget.per_rank(size)
+        if budget.deadline_s is not None:
+            deadline_at = time.monotonic() + budget.deadline_s
     store = CheckpointStore(spill_dir)
     events: List[RecoveryEvent] = []
     ever_failed: set = set()
@@ -353,10 +438,12 @@ def run_spmd_supervised(rank_fn: Callable[[Comm, Optional[RankSnapshot]], Any],
 
         def fn(comm: Comm, _ckpt=ckpt, _manager=manager) -> Any:
             snap = _ckpt.ranks[comm.rank] if _ckpt is not None else None
-            if _manager is not None:
-                with hooks.boundary_hook(_manager.hook(comm)):
-                    return rank_fn(comm, snap)
-            return rank_fn(comm, snap)
+            with _governor_armed(rank_budget, program=f"rank{comm.rank}",
+                                 deadline_at=deadline_at):
+                if _manager is not None:
+                    with hooks.boundary_hook(_manager.hook(comm)):
+                        return rank_fn(comm, snap)
+                return rank_fn(comm, snap)
 
         results = _launch(fn, world)
         elapsed = time.perf_counter() - wall
@@ -375,7 +462,7 @@ def run_spmd_supervised(rank_fn: Callable[[Comm, Optional[RankSnapshot]], Any],
         boundary = store.latest.boundary if store.latest is not None else None
         coll = instrumentation._ACTIVE
 
-        if not recoverable or restarts >= budget:
+        if not recoverable or restarts >= budget_restarts:
             kind = "fatal" if not recoverable else "budget-exhausted"
             events.append(RecoveryEvent(
                 epoch=epoch, failed_ranks=list(primaries), kind=kind,
@@ -383,6 +470,14 @@ def run_spmd_supervised(rank_fn: Callable[[Comm, Optional[RankSnapshot]], Any],
                 elapsed_s=elapsed))
             if coll is not None:
                 coll.add("recovery", f"{kind}:epoch{epoch}", elapsed)
+            for exc in primaries.values():
+                gov = _governor_failure(exc)
+                if gov is not None:
+                    # structured governor rejections surface as themselves
+                    # (callers match on ExecutionTimeout etc.), keeping the
+                    # recovery timeline attached
+                    gov.recovery_events = events  # type: ignore[attr-defined]
+                    raise gov
             try:
                 _raise_failures(world)
             except DeadlockError:

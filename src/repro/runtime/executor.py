@@ -18,6 +18,7 @@ import numpy as np
 
 from .. import instrumentation
 from ..config import Config
+from ..governor import budget as _governor_budget
 from ..resilience import hooks as _hooks
 from ..sanitizer import guards as _guards
 from ..ir.data import Array, Scalar, Stream, View
@@ -498,8 +499,13 @@ def _run_machine(sdfg, containers: Dict[str, Any], symbols: Dict[str, Any],
     hook = _hooks.active_hook()
     state_index = ({s: i for i, s in enumerate(sdfg.topological_states())}
                    if hook is not None else None)
+    # cooperative cancellation: one thread-local read per run; per-state
+    # cost when ungoverned is a single None check (DESIGN.md §12)
+    gov = _governor_budget.current()
     transitions = 0
     while state is not None:
+        if gov is not None:
+            gov.boundary(state.label)
         if hook is not None:
             hook(state_index.get(state, -1), ctx.containers, ctx.symbols)
         execute_state(ctx, state)
@@ -594,7 +600,8 @@ def collect_return(sdfg, containers):
     return tuple(results)
 
 
-def run_sdfg(sdfg, *args, validate: Optional[bool] = None, **kwargs):
+def run_sdfg(sdfg, *args, validate: Optional[bool] = None,
+             budget=None, **kwargs):
     """Execute an SDFG with NumPy arguments.
 
     Positional arguments follow ``sdfg.arg_names``; keyword arguments bind
@@ -605,11 +612,35 @@ def run_sdfg(sdfg, *args, validate: Optional[bool] = None, **kwargs):
     ``validate`` defaults to the ``validate.before_execute`` configuration
     key: malformed graphs fail fast with an :class:`InvalidSDFGError`
     naming the violated invariant instead of erroring deep inside a tasklet.
+
+    ``budget`` (a :class:`repro.governor.Budget`; defaults to the ambient
+    ``governor.*`` configuration) bounds the run: the memory plan is
+    admission-checked *before* any transient is allocated, and a deadline
+    arms a watchdog whose expiry raises
+    :class:`~repro.governor.ExecutionTimeout` at the next state boundary.
     """
     if validate is None:
         validate = Config.get("validate.before_execute")
     if validate:
         sdfg.validate()
     containers, symbols = prepare_arguments(sdfg, args, kwargs)
-    _run_machine(sdfg, containers, symbols)
+    resolved = _governor_budget.Budget.resolve(budget)
+    if resolved.is_null:
+        _run_machine(sdfg, containers, symbols)
+        return collect_return(sdfg, containers)
+
+    from ..governor import admission as _admission
+
+    decision = None
+    if resolved.max_bytes:
+        decision = _admission.admit(sdfg, symbols, resolved,
+                                    program=sdfg.name)
+    with _governor_budget.armed(resolved, program=sdfg.name):
+        if decision is not None and decision.action == "degrade-serial":
+            # the serial tier's plan was admitted: pin the worker count so
+            # no per-chunk accumulators/privatized copies materialize
+            with Config.override(device__cpu_threads=1):
+                _run_machine(sdfg, containers, symbols)
+        else:
+            _run_machine(sdfg, containers, symbols)
     return collect_return(sdfg, containers)

@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import instrumentation
 from ..config import Config
+from ..governor import budget as _governor_budget
 from .wcr import apply_wcr, identity_like
 
 __all__ = ["configured_threads", "get_pool", "shutdown_pool", "parallel_map",
@@ -168,15 +169,25 @@ def _chunk_bounds(n: int, parts: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def _run_chunk(task: Callable[[], None], label: str) -> None:
+def _run_chunk(task: Callable[[], None], label: str,
+               gov=None) -> None:
     """Execute one chunk body inside a worker: mark the thread as a pool
-    worker (nested regions stay serial) and report a per-worker region timer
-    into the active collector (RegionStat aggregation is thread-safe)."""
+    worker (nested regions stay serial), adopt the dispatching thread's
+    armed governor budget (deadline checks cross the pool boundary), and
+    report a per-worker region timer into the active collector (RegionStat
+    aggregation is thread-safe)."""
     prev = getattr(_TLS, "in_worker", False)
     _TLS.in_worker = True
     start = time.perf_counter()
     try:
-        task()
+        if gov is None:
+            task()
+        else:
+            # chunk boundary is a cooperative check site: a pool queue full
+            # of pending chunks drains fast once the deadline passes
+            gov.check()
+            with _governor_budget.adopt(gov):
+                task()
     finally:
         _TLS.in_worker = prev
         _STATS.bump("chunks")
@@ -185,26 +196,36 @@ def _run_chunk(task: Callable[[], None], label: str) -> None:
             coll.add("parallel", label, time.perf_counter() - start)
 
 
+def _report_pool_fallback(label: str, cause: str) -> None:
+    """Structured recovery event for a pool-unavailable serial fallback:
+    the degradation stays deterministic but no longer silent."""
+    _STATS.bump("pool_failures")
+    coll = instrumentation._ACTIVE
+    if coll is not None:
+        coll.add("recovery", f"pool-fallback:{label}:{cause}", 0.0)
+
+
 def _dispatch(tasks: List[Callable[[], None]], label: str) -> None:
     """Run chunk tasks on the pool; degrade to inline execution when the
     pool is unavailable.  Re-raises the first chunk exception after all
     chunks settle (no partially-joined pool state)."""
     pool = get_pool(configured_threads())
+    gov = _governor_budget.current()
     futures = []
     first_exc: Optional[BaseException] = None
     for task in tasks:
         submitted = False
         if pool is not None:
             try:
-                futures.append(pool.submit(_run_chunk, task, label))
+                futures.append(pool.submit(_run_chunk, task, label, gov))
                 submitted = True
             except RuntimeError:
-                _STATS.bump("pool_failures")
+                _report_pool_fallback(label, "submit-rejected")
         if not submitted:
             if pool is None:
-                _STATS.bump("pool_failures")
+                _report_pool_fallback(label, "pool-unavailable")
             try:
-                _run_chunk(task, label)
+                _run_chunk(task, label, gov)
             except BaseException as exc:
                 if first_exc is None:
                     first_exc = exc

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..config import Config
+from ..governor.budget import tick as _governor_tick
 from .netmodel import FaultPlan, NetModel
 
 __all__ = ["Comm", "Request", "VectorType", "run_spmd", "SimMPIError",
@@ -317,6 +318,9 @@ class Comm:
         peer has failed, the next communication operation on this rank
         unwinds instead of feeding a doomed execution."""
         self._check_aborted()
+        # communication ops are the governor's cooperative check sites in
+        # SPMD code (a rank blocked in comm has no state boundaries)
+        _governor_tick()
         world = self._world
         world.op_counts[self.rank] += 1
         plan = world.fault_plan
@@ -393,6 +397,7 @@ class Comm:
         try:
             while True:
                 self._check_aborted()
+                _governor_tick()
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise DeadlockError(world.deadlock_dump(self.rank, desc))
@@ -445,6 +450,7 @@ class Comm:
             # request creation) expires — a dropped message must not keep
             # a test() loop spinning forever
             self._check_aborted()
+            _governor_tick()
             if time.monotonic() >= deadline:
                 raise DeadlockError(world.deadlock_dump(self.rank, desc))
 

@@ -20,10 +20,13 @@ import repro.comm
 from repro import instrumentation
 from repro.config import Config
 from repro.distributed import run_distributed
-from repro.resilience.distributed import (CheckpointStore, RankSnapshot,
-                                          SupervisedRun, UnrecoveredError,
-                                          WorldCheckpoint, classify_failure,
+from repro.governor import Budget, ExecutionTimeout, MemoryBudgetExceeded
+from repro.resilience.distributed import (CheckpointCorrupt, CheckpointStore,
+                                          RankSnapshot, SupervisedRun,
+                                          UnrecoveredError, WorldCheckpoint,
+                                          classify_failure,
                                           run_spmd_supervised)
+from repro.runtime import parallel
 from repro.simmpi import (DeadlockError, FaultPlan, InjectedCrash, Request,
                           SimMPIError, run_spmd)
 from repro.simmpi.comm import Comm, _World
@@ -469,3 +472,157 @@ class TestChaosSweep:
         assert summary["unrecovered"] == 0 and summary["diverged"] == 0
         (case,) = report["cases"]
         assert all(t["crashes_fired"] >= 1 for t in case["trials"])
+
+
+def _tiny_world_ckpt(epoch, value):
+    snap = RankSnapshot.capture(0, 1, {"A": np.full(3, float(value))},
+                                {"t": epoch})
+    return WorldCheckpoint(boundary=1, epoch=epoch, ranks=[snap],
+                           comm={"clocks": [0.0], "op_counts": [0],
+                                 "seq": {}, "delivered": {},
+                                 "mailboxes": {}, "comm_stats": {}})
+
+
+class TestCheckpointIntegrity:
+    def test_corrupted_payload_raises_structured_error(self, tmp_path):
+        path = _tiny_world_ckpt(1, 1.0).save(str(tmp_path))
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF                            # flip one payload byte
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointCorrupt, match="checksum"):
+            WorldCheckpoint.load(path)
+
+    def test_truncated_and_foreign_files_rejected(self, tmp_path):
+        path = _tiny_world_ckpt(1, 1.0).save(str(tmp_path))
+        blob = open(path, "rb").read()
+        short = os.path.join(tmp_path, "short.pkl")
+        open(short, "wb").write(blob[:16])          # inside the header
+        with pytest.raises(CheckpointCorrupt):
+            WorldCheckpoint.load(short)
+        foreign = os.path.join(tmp_path, "foreign.pkl")
+        open(foreign, "wb").write(b"not a checkpoint at all" * 4)
+        with pytest.raises(CheckpointCorrupt):
+            WorldCheckpoint.load(foreign)
+
+    def test_store_evicts_corrupt_latest_and_falls_back(self, tmp_path):
+        store = CheckpointStore(spill_dir=str(tmp_path))
+        store.commit(_tiny_world_ckpt(1, 1.0))
+        store.commit(_tiny_world_ckpt(2, 2.0))
+        assert len(store.paths) == 2
+        newest = store.paths[-1]
+        blob = bytearray(open(newest, "rb").read())
+        blob[-1] ^= 0xFF
+        open(newest, "wb").write(bytes(blob))
+        loaded = store.load_latest_from_disk()
+        # detect-and-evict: the corrupt epoch-2 file is gone, epoch 1 serves
+        assert loaded is not None and loaded.epoch == 1
+        assert loaded.ranks[0].containers["A"][0] == 1.0
+        assert newest not in store.paths
+        assert not os.path.exists(newest)
+
+    def test_store_scans_directory_when_paths_unknown(self, tmp_path):
+        _tiny_world_ckpt(1, 1.0).save(str(tmp_path))
+        _tiny_world_ckpt(2, 2.0).save(str(tmp_path))
+        fresh = CheckpointStore(spill_dir=str(tmp_path))  # e.g. new process
+        loaded = fresh.load_latest_from_disk()
+        assert loaded is not None and loaded.epoch == 2
+
+    def test_store_returns_none_when_everything_corrupt(self, tmp_path):
+        store = CheckpointStore(spill_dir=str(tmp_path))
+        store.commit(_tiny_world_ckpt(1, 1.0))
+        open(store.paths[0], "wb").write(b"garbage")
+        assert store.load_latest_from_disk() is None
+        assert store.paths == []
+
+
+class TestGovernedDistributed:
+    def test_deadline_raises_structured_timeout(self):
+        A0, B0 = jacobi_inputs(seed=8)
+        with pytest.raises(ExecutionTimeout) as excinfo:
+            run_jacobi(A0, B0, tsteps=64, timeout_s=20.0,
+                       budget=Budget(deadline_s=1e-4))
+        err = excinfo.value
+        assert err.elapsed_s >= 1e-4
+        # the supervisor attaches its event log to the governor error
+        assert hasattr(err, "recovery_events")
+
+    def test_generous_budget_matches_ungoverned_run(self):
+        A0, B0 = jacobi_inputs(seed=9)
+        Af, Bf = A0.copy(), B0.copy()
+        run_jacobi(Af, Bf)
+        Ag, Bg = A0.copy(), B0.copy()
+        result = run_jacobi(Ag, Bg, timeout_s=20.0,
+                            budget=Budget(deadline_s=60.0,
+                                          max_bytes=1 << 30))
+        assert result.recovery_events == []
+        assert np.allclose(Ag, Af) and np.allclose(Bg, Bf)
+
+    def test_per_rank_admission_rejects_oversized_launch(self):
+        A0, B0 = jacobi_inputs(seed=10)
+        with pytest.raises(MemoryBudgetExceeded):
+            run_jacobi(A0, B0, timeout_s=20.0, budget=Budget(max_bytes=64))
+
+
+class TestChaosMulticore:
+    """The chaos matrix crossed with the multicore backend (4 workers)."""
+
+    @pytest.fixture(autouse=True)
+    def _four_threads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CPU_THREADS", "4")
+        parallel.reset_stats()
+        yield
+        parallel.shutdown_pool()
+        parallel.reset_stats()
+
+    def test_chaos_sweep_under_four_threads(self, tmp_path):
+        from repro.resilience.chaos import SCHEMA, chaos_sweep
+
+        out = str(tmp_path / "CHAOS-MT.json")
+        with Config.override(device__cpu_threads=0):
+            report = chaos_sweep(seeds=2, out=out, case_names=["pgemv"],
+                                 timeout_s=20.0, verbose=False)
+        assert report["schema"] == SCHEMA
+        summary = report["summary"]
+        assert summary["recovered"] == 2
+        assert summary["unrecovered"] == 0 and summary["diverged"] == 0
+
+    def test_crash_inside_parallel_region_recovers(self):
+        fired = threading.Event()
+
+        def work(comm, snapshot):
+            comm.Barrier()
+            total = [0.0]
+            lock = threading.Lock()
+
+            def body(lo, hi, acc):
+                if comm.rank == 1 and not fired.is_set():
+                    fired.set()
+                    raise InjectedCrash("crash inside a parallel chunk")
+                with lock:
+                    total[0] += hi - lo + 1     # inclusive-end chunk span
+
+            with Config.override(device__cpu_threads=0,
+                                 parallel__min_work=0):
+                parallel.parallel_map(body, 0, 99, 1, 10**9, {})
+            comm.Barrier()
+            return total[0]
+
+        run = run_spmd_supervised(work, 2, timeout_s=20.0)
+        assert fired.is_set()
+        assert run.epochs == 2 and run.failed_ranks == [1]
+        assert [e.kind for e in run.recovery_events] == ["restart-scratch"]
+        assert run.results == [100.0, 100.0]
+        assert parallel.stats().parallel_regions >= 1
+
+    def test_checkpoint_crash_recovery_under_four_threads(self, tmp_path):
+        A0, B0 = jacobi_inputs(seed=11)
+        Af, Bf = A0.copy(), B0.copy()
+        run_jacobi(Af, Bf)
+        Ad, Bd = A0.copy(), B0.copy()
+        plan = FaultPlan(crash_rank=2, crash_after_ops=9)
+        with Config.override(device__cpu_threads=0,
+                             resilience__ckpt_dir=str(tmp_path)):
+            result = run_jacobi(Ad, Bd, fault_plan=plan, ckpt_interval=2,
+                                timeout_s=20.0)
+        assert result.failed_ranks == [2]
+        assert np.allclose(Ad, Af) and np.allclose(Bd, Bf)

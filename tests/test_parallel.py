@@ -373,6 +373,41 @@ class TestRuntimeGating:
         np.testing.assert_allclose(out[0], A.sum())
         assert parallel.stats().pool_failures >= 1
 
+    def test_pool_failure_emits_structured_recovery_event(self, monkeypatch):
+        from repro.instrumentation import profile
+
+        monkeypatch.setattr(parallel, "get_pool", lambda size: None)
+        A = np.random.default_rng(9).random(N)
+        out = np.zeros(1)
+        with Config.override(device__cpu_threads=4, parallel__min_work=0):
+            with profile("fb") as prof:
+                compile_sdfg(mark_multicore(reduce_sdfg(dt.float64, "sum")),
+                             cache=False)(A=A, out=out)
+        np.testing.assert_allclose(out[0], A.sum())
+        events = prof.report().by_category("recovery")
+        assert events, "pool fallback must emit a recovery event"
+        assert any(e.name.startswith("pool-fallback:")
+                   and e.name.endswith(":pool-unavailable") for e in events)
+
+    def test_submit_rejection_emits_recovery_event(self, monkeypatch):
+        from repro.instrumentation import profile
+
+        class RejectingPool:
+            def submit(self, *a, **k):
+                raise RuntimeError("cannot schedule new futures")
+
+        monkeypatch.setattr(parallel, "get_pool",
+                            lambda size: RejectingPool())
+        ran = []
+        tasks = [lambda: ran.append(1), lambda: ran.append(2)]
+        with profile("rej") as prof:
+            parallel._dispatch(tasks, "rej")
+        assert ran == [1, 2]                # degraded inline, in order
+        events = prof.report().by_category("recovery")
+        rejected = [e for e in events
+                    if e.name == "pool-fallback:rej:submit-rejected"]
+        assert rejected and rejected[0].count == len(tasks)
+
     def test_nested_regions_run_serial_in_workers(self):
         seen = []
 

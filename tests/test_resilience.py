@@ -274,6 +274,24 @@ class TestFailureReport:
         report.clear()
         assert not report
 
+    def test_to_dict_sanitizes_numpy_exception_payloads(self):
+        import json
+
+        report = FailureReport()
+        # guards routinely raise with NumPy scalars/arrays in args — e.g.
+        # "NaN produced at A[3] = <np.float64>" — which plain json.dumps
+        # rejects; to_dict must sanitize them
+        err = ValueError("guard tripped", np.float64(3.5), np.arange(4))
+        report.record("governor", "prog", err, "terminal-failure",
+                      value=np.int32(7), buffer=np.zeros((8, 8)))
+        (rec,) = json.loads(json.dumps(report.to_dict()))
+        assert rec["error_args"][1] == 3.5
+        assert rec["error_args"][2] == [0, 1, 2, 3]
+        assert rec["detail"]["value"] == 7
+        # large arrays collapse to a shape/dtype summary, not 64 numbers
+        assert rec["detail"]["buffer"] == {
+            "ndarray": {"shape": [8, 8], "dtype": "float64"}}
+
 
 # ---------------------------------------------------------------------------
 # graceful degradation
