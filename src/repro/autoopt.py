@@ -60,6 +60,7 @@ def auto_optimize(sdfg, device: str = "CPU", use_fast_library: bool = True,
         "transients": True,
         "device": True,
         "library": True,
+        "commopt": Config.get("commopt.enabled"),
     }
     enabled.update(passes or {})
 
@@ -171,5 +172,14 @@ def auto_optimize(sdfg, device: str = "CPU", use_fast_library: bool = True,
                 sdfg, tile_size=Config.get("optimizer.tile_size"))
 
     step("library", library)
+
+    # communication optimizer (§13; distributed SDFGs only, opt-in via
+    # commopt.enabled — run_distributed applies it independently of -O3)
+    def commopt_pass() -> None:
+        from .distributed.commopt import optimize_comm
+
+        optimize_comm(sdfg)
+
+    step("commopt", commopt_pass)
 
     return sdfg

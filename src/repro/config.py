@@ -76,6 +76,18 @@ _DEFAULTS: Dict[str, Any] = {
     "net.latency_us": 1.2,
     "net.bandwidth_gbs": 9.0,
     "net.per_message_overhead_us": 0.6,
+    # Communication optimizer (repro.distributed.commopt, DESIGN.md §13)
+    "commopt.enabled": False,                # apply optimize_comm in
+                                             # run_distributed (or set
+                                             # $REPRO_COMM_OPT=1)
+    "commopt.overlap": True,                 # halo-exchange interior/boundary
+                                             # overlap rewrite
+    "commopt.dedup": True,                   # loop-invariant collective dedup
+    "commopt.coalesce_max_bytes": 4096,      # fuse same-peer messages at or
+                                             # below this size (0 = off)
+    "commopt.stencil_gflops": 0.0,           # stencil compute rate for the
+                                             # overlap clock credit;
+                                             # 0.0 -> cpu.flops_gflops
 }
 
 _config: Dict[str, Any] = dict(_DEFAULTS)

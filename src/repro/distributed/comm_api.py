@@ -74,6 +74,8 @@ def BlockScatter(global_array: np.ndarray,
     ctx.comm.advance(net.scatter(int(arr.nbytes), ctx.size))
     if ctx.rank == 0 and ctx.size > 1:
         ctx.comm._world.record(int(arr.nbytes))
+        ctx.comm._world.account("BlockScatter", nbytes=int(arr.nbytes))
+    ctx.comm._world.account("BlockScatter", count=1)
     return block
 
 
@@ -96,9 +98,12 @@ def BlockGather(local_block: np.ndarray,
         gather_blocks(out, block, grid, other)
     net = comm._world.net
     comm._sync_clocks(net.gather(int(out.nbytes), ctx.size)
-                      + net.bcast(int(out.nbytes), ctx.size))
+                      + net.bcast(int(out.nbytes), ctx.size),
+                      "BlockGather()")
     if ctx.rank == 0 and ctx.size > 1:
         comm._world.record(2 * int(out.nbytes))
+        comm._world.account("BlockGather", nbytes=2 * int(out.nbytes))
+    comm._world.account("BlockGather", count=1)
     return out
 
 
@@ -115,6 +120,9 @@ def HaloExchange(padded: np.ndarray, halo: int = 1) -> np.ndarray:
         raise ValueError("HaloExchange requires a 2-D process grid")
     neighbors = grid.neighbors(ctx.rank)
     rows, cols = padded.shape
+    from .commopt.runtime import validate_halo_extents
+
+    validate_halo_extents((rows, cols), halo, neighbors, ctx.rank)
     requests = []
     # receive into halo frames
     recv_specs = {
@@ -147,7 +155,11 @@ def HaloExchange(padded: np.ndarray, halo: int = 1) -> np.ndarray:
         # (the real system would use the committed MPI vector datatype)
         payload = np.ascontiguousarray(padded[send_specs[side]])
         requests.append(comm.Isend(payload, neighbor, tag=tags[side]))
+    before = comm._world.clocks[comm.rank]
     Waitall(requests)
+    comm._world.account(
+        "HaloExchange", count=1,
+        wait_s=max(0.0, comm._world.clocks[comm.rank] - before))
     for side, buf in recv_bufs.items():
         padded[recv_specs[side]] = buf
     return padded

@@ -1,0 +1,100 @@
+"""Loop-invariant collective deduplication.
+
+The distribution pipeline re-executes scatter/allreduce tasklets on every
+loop iteration even when the source buffer is provably never written — a
+``for it in range(reps)`` around a distributed GEMM re-scatters the same
+``A`` and ``B`` blocks *reps* times.  This pass rewrites such collectives
+to their memoizing runtime variants: the first execution runs the eager
+collective and stores a content fingerprint; later executions whose
+fingerprint matches return the cached local block without touching the
+network.
+
+Static eligibility is a whole-SDFG write-set argument: a container is
+dedupable only if **no** state writes it (no non-empty memlet enters any
+of its access nodes).  The runtime re-checks the fingerprint on every
+hit, so a source that is mutated through a channel the IR cannot see
+falls back to the eager collective (scatter) or raises a structured
+:class:`~.runtime.CollectiveDivergenceError` (allreduce, whose barrier
+semantics make silent per-rank divergence a deadlock).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ...ir.nodes import AccessNode, Tasklet
+
+__all__ = ["dedup_collectives", "written_containers"]
+
+#: eager entry point -> (memoizing entry point, runtime attribute)
+_REWRITES = {
+    "__comm_BlockScatter": "__commopt_BlockScatter_cached",
+    "__comm_Allreduce": "__commopt_Allreduce_cached",
+}
+
+
+def written_containers(sdfg) -> Set[str]:
+    """Names of containers written by any state (the SDFG write set)."""
+    written: Set[str] = set()
+    for state in sdfg.states():
+        for node in state.nodes():
+            if not isinstance(node, AccessNode) or node.data in written:
+                continue
+            if any(not e.memlet.is_empty() for e in state.in_edges(node)):
+                written.add(node.data)
+    return written
+
+
+def _dedup_candidates(sdfg, written: Set[str]) -> List[Tuple[object, Tasklet, str]]:
+    """(state, tasklet, eager_call) triples whose source is never written."""
+    out = []
+    for state in sdfg.states():
+        for node in state.nodes():
+            if not isinstance(node, Tasklet):
+                continue
+            call = next((c for c in _REWRITES if c + "(" in node.code), None)
+            if call is None:
+                continue
+            in_edges = state.in_edges(node)
+            if len(in_edges) != 1:
+                continue
+            src = in_edges[0].src
+            if not isinstance(src, AccessNode) or src.data in written:
+                continue
+            out.append((state, node, call))
+    return out
+
+
+def _rewrite_call(code: str, eager: str, cached: str, site: str) -> str:
+    """``__comm_X(args)`` -> ``__commopt_X_cached(args, site='...')``.
+
+    The tasklet code is a single generated assignment ending in ``)``, so
+    the site keyword is spliced before the final close paren (this also
+    handles calls that already carry a ``layout='grid'`` keyword).
+    """
+    code = code.replace(eager + "(", cached + "(")
+    head, sep, _tail = code.rstrip().rpartition(")")
+    if not sep:
+        raise ValueError(f"unparseable collective tasklet code: {code!r}")
+    return f"{head}, site={site!r})"
+
+
+def dedup_collectives(sdfg) -> int:
+    """Rewrite loop-invariant collectives to their memoizing variants.
+
+    Returns the number of rewritten tasklets."""
+    from . import runtime as rt
+
+    written = written_containers(sdfg)
+    rewritten = 0
+    for n, (state, tasklet, call) in enumerate(
+            _dedup_candidates(sdfg, written)):
+        cached = _REWRITES[call]
+        site = f"{state.label}:{tasklet.label}:{n}"
+        tasklet.code = _rewrite_call(tasklet.code, call, cached, site)
+        sdfg.constants[cached] = {
+            "__commopt_BlockScatter_cached": rt.block_scatter_cached,
+            "__commopt_Allreduce_cached": rt.allreduce_cached,
+        }[cached]
+        rewritten += 1
+    return rewritten

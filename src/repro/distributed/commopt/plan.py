@@ -1,0 +1,408 @@
+"""The comm plan: nonblocking halo-exchange / interior-compute overlap.
+
+The frontend turns ``repro.comm.HaloExchange(lA)`` into a blocking tasklet
+followed by the stencil maps that consume ``lA`` — comm time is pure serial
+overhead.  This pass restructures each such site *within its state* (so
+checkpoint boundaries never see in-flight messages and the eager and
+optimized runs traverse identical state machines):
+
+1. the exchange tasklet becomes :func:`~.runtime.halo_start` — post the
+   ``Isend``/``Irecv`` pairs and return;
+2. the consumer maps are clipped to the **interior** (each dimension
+   shrunk by the halo width) — those iterations provably never read a halo
+   frame, so they run while messages are in flight;
+3. a ``HaloFinish`` tasklet waits for the messages, unpacks the frames,
+   and credits the interior compute time to the virtual clock (the overlap
+   benefit under the LogGP model, which otherwise treats generated compute
+   as instantaneous);
+4. the **boundary** iterations re-run as 2·ndim cloned "onion strip" maps
+   ordered after the finish, reading the freshly exchanged frames.
+
+Legality is gated on the race detector (every rewritten map must be
+RACE_FREE), on unit-coefficient point reads of the exchanged array, and on
+a symbolic proof that the clipped interior never touches a frame.  Sites
+failing any gate stay eager — the pass is purely opportunistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...ir.memlet import Memlet
+from ...ir.nodes import AccessNode, MapEntry, MapExit, Tasklet, make_map_scope
+from ...symbolic import Expr, Integer, Range, Symbol
+from ...symbolic.expr import definitely_le, simplify
+
+__all__ = ["overlap_halo_exchanges", "HaloSite"]
+
+#: the frontend's eager exchange entry point inside tasklet code
+_EAGER_CALL = "__comm_HaloExchange"
+
+
+@dataclass
+class HaloSite:
+    """One analyzable halo-exchange tasklet and its consumer region."""
+
+    state: object
+    tasklet: Tasklet
+    data: str                       # exchanged container
+    source: AccessNode              # pre-exchange access node
+    mid: AccessNode                 # post-exchange access node
+    halo: int
+    region: List[MapEntry] = field(default_factory=list)
+    internal: List[AccessNode] = field(default_factory=list)
+    terminal: List[AccessNode] = field(default_factory=list)
+    rng: Optional[Range] = None
+
+
+def _is_full_dynamic(memlet: Memlet, data: str) -> bool:
+    return (not memlet.is_empty() and memlet.data == data and memlet.dynamic)
+
+
+def _point_offset(memlet: Memlet, params: Tuple[str, ...]) -> Optional[List[Expr]]:
+    """For a point subset whose dim *d* reads exactly ``param_d + c_d``,
+    return the offsets ``c_d``; None when the shape does not match."""
+    subset = memlet.subset
+    if subset is None or subset.ndim != len(params):
+        return None
+    offsets = []
+    for d, (begin, end, step) in enumerate(subset.dims):
+        if begin != end or step != Integer(1):
+            return None
+        offset = simplify(begin - Symbol(params[d]))
+        names = {s.name for s in offset.free_symbols}
+        if names & set(params):
+            return None  # not unit-coefficient in this dimension's parameter
+        # must not involve the other parameters either (checked above) and
+        # the expression must be independent of sibling dims' parameters
+        offsets.append(offset)
+    return offsets
+
+
+def _find_sites(sdfg, state) -> List[Tasklet]:
+    return [n for n in state.nodes()
+            if isinstance(n, Tasklet) and _EAGER_CALL + "(" in n.code]
+
+
+def _analyze_site(sdfg, state, tasklet: Tasklet) -> Optional[HaloSite]:
+    in_edges = state.in_edges(tasklet)
+    out_edges = state.out_edges(tasklet)
+    if len(in_edges) != 1 or len(out_edges) != 1:
+        return None
+    src, dst = in_edges[0].src, out_edges[0].dst
+    if not isinstance(src, AccessNode) or not isinstance(dst, AccessNode) \
+            or src.data != dst.data:
+        return None
+    data = src.data
+    desc = sdfg.arrays.get(data)
+    if desc is None or len(desc.shape) != 2:
+        return None
+    if not _is_full_dynamic(in_edges[0].memlet, data) \
+            or not _is_full_dynamic(out_edges[0].memlet, data):
+        return None
+
+    site = HaloSite(state=state, tasklet=tasklet, data=data, source=src,
+                    mid=dst, halo=1)
+
+    # every consumer of the exchanged array must be a top-level map entry
+    consumers = state.out_edges(dst)
+    if not consumers:
+        return None
+    entries: List[MapEntry] = []
+    for edge in consumers:
+        if not isinstance(edge.dst, MapEntry):
+            return None
+        if edge.dst not in entries:
+            entries.append(edge.dst)
+    rng = entries[0].map.range
+    if any(e.map.range != rng for e in entries):
+        return None
+    if rng.ndim != len(desc.shape):
+        return None
+    if any(step != Integer(1) for _, _, step in rng.dims):
+        return None
+    site.rng = rng
+
+    # grow the region: maps of the same range whose inputs all come from
+    # the exchanged array or from temporaries written inside the region
+    region: List[MapEntry] = list(entries)
+    produced: Set[AccessNode] = set()
+    changed = True
+    while changed:
+        changed = False
+        for entry in list(region):
+            for edge in state.out_edges(entry.exit_node):
+                out = edge.dst
+                if not isinstance(out, AccessNode) or out in produced:
+                    continue
+                produced.add(out)
+                for consumer in state.out_edges(out):
+                    nxt = consumer.dst
+                    if not isinstance(nxt, MapEntry) or nxt in region:
+                        continue
+                    if nxt.map.range != rng:
+                        continue
+                    feeders_ok = all(
+                        isinstance(f.src, AccessNode)
+                        and (f.src is dst or f.src in produced)
+                        for f in state.in_edges(nxt))
+                    if feeders_ok:
+                        region.append(nxt)
+                        changed = True
+    # clone order must respect producer-before-consumer for the temp chain
+    topo = {n: i for i, n in enumerate(state.topological_nodes())}
+    region.sort(key=lambda e: topo[e])
+    site.region = region
+
+    region_set = set(region)
+    for out in produced:
+        out_consumers = state.out_edges(out)
+        if out_consumers and all(isinstance(e.dst, MapEntry)
+                                 and e.dst in region_set
+                                 for e in out_consumers):
+            desc_out = sdfg.arrays.get(out.data)
+            if desc_out is None or not desc_out.transient:
+                return None  # non-transient intermediates stay eager
+            site.internal.append(out)
+        else:
+            if any(isinstance(e.dst, MapEntry) and e.dst in region_set
+                   for e in out_consumers):
+                # partially consumed inside the region: the strip clones
+                # would read it before the strips that write it ran
+                return None
+            site.terminal.append(out)
+    if not site.terminal:
+        return None
+
+    internal_names = {n.data for n in site.internal}
+    if site.data in internal_names \
+            or site.data in {n.data for n in site.terminal}:
+        return None  # region writes the exchanged array itself
+
+    return site
+
+
+def _check_safety(sdfg, state, site: HaloSite) -> bool:
+    from ...sanitizer.races import RACE_FREE, analyze_map
+
+    desc = sdfg.arrays[site.data]
+    h = site.halo
+    internal_names = {n.data for n in site.internal}
+    for entry in site.region:
+        if analyze_map(state, entry, sdfg).verdict != RACE_FREE:
+            return False
+        params = tuple(entry.map.params)
+        exit_ = entry.exit_node
+        for edge in state.out_edges(entry):
+            memlet = edge.memlet
+            if memlet.is_empty():
+                continue
+            if memlet.wcr is not None:
+                return False
+            offsets = _point_offset(memlet, params)
+            if offsets is None:
+                return False
+            if memlet.data == site.data:
+                # the clipped interior read [b+h+c, e-h+c] must stay inside
+                # the interior [h, shape-1-h]; equivalent to proving the
+                # ORIGINAL hull [b+c, e+c] within [0, shape-1]
+                for d, ((b, e, _s), c) in enumerate(
+                        zip(site.rng.dims, offsets, strict=True)):
+                    if definitely_le(Integer(0), simplify(b + c)) is not True:
+                        return False
+                    upper = simplify(desc.shape[d] - 1)
+                    if definitely_le(simplify(e + c), upper) is not True:
+                        return False
+            elif memlet.data in internal_names:
+                if any(c != Integer(0) for c in offsets):
+                    return False  # internal temps must chain at identity
+        for edge in state.in_edges(exit_):
+            memlet = edge.memlet
+            if memlet.is_empty():
+                continue
+            if memlet.wcr is not None:
+                return False
+            offsets = _point_offset(memlet, params)
+            if offsets is None:
+                return False
+            if memlet.data in internal_names \
+                    and any(c != Integer(0) for c in offsets):
+                return False
+    return True
+
+
+def _interior_range(rng: Range, h: int) -> Range:
+    return Range([(simplify(b + Integer(h)), simplify(e - Integer(h)), s)
+                  for b, e, s in rng.dims])
+
+
+def _strip_ranges(rng: Range, h: int) -> List[Range]:
+    """The 2·ndim boundary strips: dim *d* pinned to its low/high band,
+    earlier dims clipped to the interior, later dims full — a disjoint
+    partition of (range − interior)."""
+    strips = []
+    for d in range(rng.ndim):
+        for high in (False, True):
+            dims = []
+            for i, (b, e, s) in enumerate(rng.dims):
+                if i < d:
+                    dims.append((simplify(b + Integer(h)),
+                                 simplify(e - Integer(h)), s))
+                elif i == d:
+                    if high:
+                        dims.append((simplify(e - Integer(h - 1)), e, s))
+                    else:
+                        dims.append((b, simplify(b + Integer(h - 1)), s))
+                else:
+                    dims.append((b, e, s))
+            strips.append(Range(dims))
+    return strips
+
+
+def _interior_flops_expr(state, site: HaloSite) -> str:
+    """Static flop count of the interior partition, as a Python expression
+    over the SDFG symbols (evaluated inside the generated HaloFinish call)."""
+    from ...runtime.perfmodel import tasklet_flops
+
+    h = site.halo
+    per_point = 0
+    for entry in site.region:
+        for node in state.scope_children(entry):
+            if isinstance(node, Tasklet):
+                per_point += tasklet_flops(node.code)
+    vol_terms = [f"max(0, ({e}) - ({b}) - {2 * h} + 1)"
+                 for b, e, _s in site.rng.dims]
+    return "(" + " * ".join(vol_terms) + f") * {max(per_point, 1)}"
+
+
+def _clone_region(sdfg, state, site: HaloSite, strip: Range, label: str,
+                  x_post: AccessNode,
+                  terminal_post: Dict[AccessNode, AccessNode]) -> None:
+    """Instantiate one boundary-strip copy of the region after *x_post*."""
+    internal_clone: Dict[AccessNode, AccessNode] = {}
+    entry_clone: Dict[MapEntry, Tuple[MapEntry, MapExit]] = {}
+    internal_set = set(site.internal)
+
+    for entry in site.region:  # region is in topological order by growth
+        new_entry, new_exit = make_map_scope(
+            f"{entry.map.label}_{label}", entry.map.params, strip,
+            entry.map.schedule)
+        new_entry.in_connectors = set(entry.in_connectors)
+        new_entry.out_connectors = set(entry.out_connectors)
+        new_exit.in_connectors = set(entry.exit_node.in_connectors)
+        new_exit.out_connectors = set(entry.exit_node.out_connectors)
+        state.add_node(new_entry)
+        state.add_node(new_exit)
+        entry_clone[entry] = (new_entry, new_exit)
+
+        tasklet_clone: Dict[Tasklet, Tasklet] = {}
+        for node in state.scope_children(entry):
+            if isinstance(node, Tasklet):
+                clone = Tasklet(node.label, set(node.in_connectors),
+                                set(node.out_connectors), node.code,
+                                node.side_effect_free)
+                state.add_node(clone)
+                tasklet_clone[node] = clone
+
+        # inbound edges: the exchanged array now reads from x_post; internal
+        # temps read from this strip's clones
+        for edge in state.in_edges(entry):
+            src = edge.src
+            if src is site.mid:
+                new_src = x_post
+            elif src in internal_set:
+                new_src = internal_clone[src]
+            else:  # pre-existing inputs (other arrays, scalars) are reused
+                new_src = src
+            state.add_edge(new_src, edge.src_conn, new_entry, edge.dst_conn,
+                           edge.memlet.clone())
+        for edge in state.out_edges(entry):
+            state.add_edge(new_entry, edge.src_conn, tasklet_clone[edge.dst],
+                           edge.dst_conn, edge.memlet.clone())
+        # scope-internal tasklet-to-tasklet wiring (none in the stencil
+        # corpus, but cheap to support)
+        for node, clone in tasklet_clone.items():
+            for edge in state.out_edges(node):
+                if isinstance(edge.dst, Tasklet):
+                    state.add_edge(clone, edge.src_conn,
+                                   tasklet_clone[edge.dst], edge.dst_conn,
+                                   edge.memlet.clone())
+                elif edge.dst is entry.exit_node:
+                    state.add_edge(clone, edge.src_conn, new_exit,
+                                   edge.dst_conn, edge.memlet.clone())
+        for edge in state.out_edges(entry.exit_node):
+            out = edge.dst
+            if out in internal_set:
+                clone = internal_clone.get(out)
+                if clone is None:
+                    clone = internal_clone[out] = state.add_access(out.data)
+                state.add_edge(new_exit, edge.src_conn, clone, None,
+                               edge.memlet.clone())
+            else:
+                state.add_edge(new_exit, edge.src_conn, terminal_post[out],
+                               None, edge.memlet.clone())
+
+
+def _rewrite_site(sdfg, state, site: HaloSite) -> None:
+    from . import runtime as rt
+
+    h = site.halo
+    flops_expr = _interior_flops_expr(state, site)
+
+    # 1. blocking exchange -> nonblocking start
+    site.tasklet.code = site.tasklet.code.replace(
+        _EAGER_CALL + "(", "__commopt_HaloStart(")
+    site.tasklet.label = "HaloStart"
+    sdfg.constants["__commopt_HaloStart"] = rt.halo_start
+    sdfg.constants["__commopt_HaloFinish"] = rt.halo_finish
+
+    # 2. clip the region maps to the interior
+    interior = _interior_range(site.rng, h)
+    for entry in site.region:
+        entry.map.range = interior
+
+    # 3. the finish tasklet: waits, unpacks, credits the interior compute
+    finish = state.add_tasklet(
+        "HaloFinish", {"__halo"}, {"__halo_out"},
+        f"__commopt_HaloFinish(__halo, float({flops_expr}))\n"
+        f"__halo_out = __halo")
+    full = Range.from_shape(sdfg.arrays[site.data].shape)
+    state.add_edge(site.mid, None, finish, "__halo",
+                   Memlet(site.data, full, dynamic=True))
+    x_post = state.add_access(site.data)
+    state.add_edge(finish, "__halo_out", x_post, None,
+                   Memlet(site.data, full, dynamic=True))
+    # the finish runs only after the interior partition is done: ordering
+    # (empty-memlet) dependencies from the region's terminal outputs
+    for out in site.terminal:
+        state.add_nedge(out, finish)
+
+    # 4. boundary strips, ordered after the finish via x_post
+    terminal_post = {out: state.add_access(out.data) for out in site.terminal}
+    for out, post in terminal_post.items():
+        state.add_nedge(out, post)  # interior writes happen-before
+        for edge in list(state.out_edges(out)):
+            if edge.dst is finish or edge.dst is post:
+                continue
+            state.add_edge(post, edge.src_conn, edge.dst, edge.dst_conn,
+                           edge.memlet)
+            state.remove_edge(edge)
+    for i, strip in enumerate(_strip_ranges(site.rng, h)):
+        _clone_region(sdfg, state, site, strip, f"halo{i}", x_post,
+                      terminal_post)
+
+
+def overlap_halo_exchanges(sdfg) -> int:
+    """Apply the overlap rewrite to every provably safe halo site.
+
+    Returns the number of rewritten sites; unproven sites stay eager."""
+    rewritten = 0
+    for state in sdfg.states():
+        for tasklet in _find_sites(sdfg, state):
+            site = _analyze_site(sdfg, state, tasklet)
+            if site is None or not _check_safety(sdfg, state, site):
+                continue
+            _rewrite_site(sdfg, state, site)
+            rewritten += 1
+    return rewritten

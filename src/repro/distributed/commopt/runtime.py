@@ -1,0 +1,373 @@
+"""Runtime half of the communication optimizer (DESIGN.md §13).
+
+The planning passes (:mod:`.plan`, :mod:`.dedup`) rewrite comm tasklets to
+call the functions here instead of the eager :mod:`repro.distributed.comm_api`
+operations:
+
+* :func:`halo_start` / :func:`halo_finish` — the split halo exchange.
+  ``halo_start`` posts the nonblocking sends/receives and returns
+  immediately; the interior partition of the stencil runs while the
+  messages are conceptually in flight, and ``halo_finish`` waits, unpacks
+  the halo frames, and credits the interior compute time to the virtual
+  clock *before* completing the receives — so the measured wait shrinks by
+  exactly the overlapped compute.
+* :func:`block_scatter_cached` / :func:`allreduce_cached` — loop-invariant
+  collective dedup.  The static pass proves the source container is never
+  written; the runtime keeps a per-site content fingerprint as
+  belt-and-braces and replays the cached result on a hit, skipping the
+  wire traffic entirely.
+* :func:`coalesce_send` / :func:`coalesce_recv` — the small-message
+  envelope: several payloads to the same peer fuse into one message,
+  paying the per-message overhead once.
+
+Pending nonblocking state lives on the :class:`~..context.DistContext`
+(fresh per rank per launch), so checkpoint epochs never capture in-flight
+operations; :func:`drain_pending` is the safety net the checkpoint boundary
+calls before cutting a snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...config import Config
+from .. import comm_api, context
+
+__all__ = [
+    "HaloExtentError", "CollectiveDivergenceError", "PendingHalo",
+    "halo_start", "halo_finish", "drain_pending",
+    "block_scatter_cached", "allreduce_cached",
+    "coalesce_send", "coalesce_recv",
+]
+
+#: tag base for coalesced envelopes (clear of the halo/pblas tag ranges)
+_TAG_ENVELOPE = 900
+
+#: canonical side order shared by coalescing senders and receivers
+_CANONICAL = ("north", "south", "west", "east")
+
+
+class HaloExtentError(ValueError):
+    """A halo exchange whose block is too small for its halo width.
+
+    Sending a halo from a block whose interior is narrower than the halo
+    would transmit rows that belong to the *opposite* halo frame — silently
+    exchanging garbage.  Raised with the structured fields so callers (and
+    tests) can inspect the violation.
+    """
+
+    def __init__(self, dim: str, extent: int, halo: int, rank: int):
+        self.dim = dim
+        self.extent = extent
+        self.halo = halo
+        self.rank = rank
+        super().__init__(
+            f"HaloExchange: rank {rank} local block has interior extent "
+            f"{extent} along {dim} but needs at least {halo} (halo width "
+            f"{halo}) to exchange with its neighbors; pad the block or "
+            f"shrink the halo")
+
+
+class CollectiveDivergenceError(RuntimeError):
+    """A deduplicated collective saw a changed input buffer at runtime.
+
+    The static pass only rewrites sites whose source container is provably
+    never written, so this firing means the write-set analysis was wrong —
+    a bug, not a user error.  Synchronized collectives raise instead of
+    silently reusing a stale result."""
+
+
+def _fingerprint(arr: np.ndarray) -> str:
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha1()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def validate_halo_extents(shape: Tuple[int, int], halo: int,
+                          neighbors: Dict[str, int], rank: int) -> None:
+    """Reject blocks whose interior is narrower than the halo (satellite
+    fix): the send region must lie entirely inside the interior."""
+    rows, cols = shape
+    if (neighbors.get("north", -1) >= 0 or neighbors.get("south", -1) >= 0) \
+            and rows - 2 * halo < halo:
+        raise HaloExtentError("rows", rows - 2 * halo, halo, rank)
+    if (neighbors.get("west", -1) >= 0 or neighbors.get("east", -1) >= 0) \
+            and cols - 2 * halo < halo:
+        raise HaloExtentError("cols", cols - 2 * halo, halo, rank)
+
+
+# ---------------------------------------------------------------------------
+# split halo exchange
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PendingHalo:
+    """One started-but-unfinished halo exchange on this rank."""
+
+    array_id: int
+    padded: np.ndarray
+    halo: int
+    requests: List[object] = field(default_factory=list)
+    recv_bufs: Dict[str, np.ndarray] = field(default_factory=dict)
+    recv_specs: Dict[str, Tuple[slice, slice]] = field(default_factory=dict)
+    #: envelope buffer -> ordered (side, shape) list to unpack it into
+    envelopes: List[Tuple[np.ndarray, List[str]]] = field(default_factory=list)
+
+    def complete(self) -> None:
+        comm_api.Waitall(self.requests)
+        for envelope, sides in self.envelopes:
+            offset = 0
+            for side in sides:
+                buf = self.recv_bufs[side]
+                buf[...] = envelope[offset:offset + buf.size] \
+                    .reshape(buf.shape)
+                offset += buf.size
+        for side, buf in self.recv_bufs.items():
+            self.padded[self.recv_specs[side]] = buf
+
+
+def _pending_list(ctx) -> List[PendingHalo]:
+    pending = getattr(ctx, "commopt_pending", None)
+    if pending is None:
+        pending = ctx.commopt_pending = []
+    return pending
+
+
+def halo_start(padded: np.ndarray, halo: int = 1) -> np.ndarray:
+    """Post the nonblocking halo sends/receives and return immediately.
+
+    Mirrors :func:`repro.distributed.comm_api.HaloExchange` up to (but not
+    including) the wait: receive buffers and requests are parked on the
+    distributed context until :func:`halo_finish`.
+    """
+    ctx = context.require()
+    comm, grid = ctx.comm, ctx.grid
+    if grid.ndims != 2:
+        raise ValueError("halo_start requires a 2-D process grid")
+    neighbors = grid.neighbors(ctx.rank)
+    rows, cols = padded.shape
+    validate_halo_extents((rows, cols), halo, neighbors, ctx.rank)
+    recv_specs = {
+        "north": (slice(0, halo), slice(halo, cols - halo)),
+        "south": (slice(rows - halo, rows), slice(halo, cols - halo)),
+        "west": (slice(halo, rows - halo), slice(0, halo)),
+        "east": (slice(halo, rows - halo), slice(cols - halo, cols)),
+    }
+    send_specs = {
+        "north": (slice(halo, 2 * halo), slice(halo, cols - halo)),
+        "south": (slice(rows - 2 * halo, rows - halo), slice(halo, cols - halo)),
+        "west": (slice(halo, rows - halo), slice(halo, 2 * halo)),
+        "east": (slice(halo, rows - halo), slice(cols - 2 * halo, cols - halo)),
+    }
+    opposite = {"north": "south", "south": "north", "west": "east",
+                "east": "west"}
+    tags = {"north": 11, "south": 12, "west": 13, "east": 14}
+
+    # group both directions by peer: a peer adjacent on several sides gets
+    # its small messages fused into one envelope.  Sender and receiver make
+    # the same decision independently — the shared sides and their payload
+    # sizes are symmetric, and _CANONICAL fixes the packing order (a
+    # receiver orders its sides by the sender-side name, ``opposite``).
+    # On plain 2-D grids every peer is adjacent on exactly one side, so
+    # this degenerates to one plain message per neighbor.
+    max_bytes = Config.get("commopt.coalesce_max_bytes")
+    pending = PendingHalo(array_id=id(padded), padded=padded, halo=halo)
+    recv_by_peer: Dict[int, List[str]] = {}
+    send_by_peer: Dict[int, List[str]] = {}
+    for side in _CANONICAL:
+        neighbor = neighbors.get(side, -1)
+        if neighbor < 0:
+            continue
+        send_by_peer.setdefault(neighbor, []).append(side)
+        recv_by_peer.setdefault(neighbor, []).append(side)
+    for neighbor, sides in recv_by_peer.items():
+        bufs = {s: np.empty_like(padded[recv_specs[s]]) for s in sides}
+        for s in sides:
+            pending.recv_bufs[s] = bufs[s]
+            pending.recv_specs[s] = recv_specs[s]
+        if len(sides) > 1 and max_bytes > 0 \
+                and all(b.nbytes <= max_bytes for b in bufs.values()):
+            ordered = sorted(sides, key=lambda s: _CANONICAL.index(opposite[s]))
+            envelope = np.empty(sum(bufs[s].size for s in ordered),
+                                dtype=padded.dtype)
+            pending.envelopes.append((envelope, ordered))
+            pending.requests.append(
+                comm.Irecv(envelope, neighbor, tag=_TAG_ENVELOPE))
+        else:
+            for s in sides:
+                pending.requests.append(
+                    comm.Irecv(bufs[s], neighbor, tag=tags[opposite[s]]))
+    for neighbor, sides in send_by_peer.items():
+        payloads = [np.ascontiguousarray(padded[send_specs[s]])
+                    for s in sides]
+        if len(sides) > 1 and max_bytes > 0 \
+                and all(p.nbytes <= max_bytes for p in payloads):
+            pending.requests.append(coalesce_send(
+                comm, neighbor, _TAG_ENVELOPE, payloads))
+        else:
+            for s, payload in zip(sides, payloads, strict=True):
+                pending.requests.append(
+                    comm.Isend(payload, neighbor, tag=tags[s]))
+    comm._world.account("HaloStart", count=1)
+    _pending_list(ctx).append(pending)
+    return padded
+
+
+def halo_finish(padded: np.ndarray, interior_flops: float = 0.0) -> np.ndarray:
+    """Complete the matching :func:`halo_start` and unpack the frames.
+
+    *interior_flops* is the planner's static estimate of the interior
+    partition executed between start and finish; its modeled time advances
+    this rank's virtual clock **before** the waits, so the measured wait is
+    ``max(0, eager_wait - overlap_credit)`` — the overlap benefit.
+    """
+    ctx = context.require()
+    comm = ctx.comm
+    world = comm._world
+    pending_ops = _pending_list(ctx)
+    match = next((p for p in pending_ops if p.array_id == id(padded)), None)
+    if match is None:
+        # replay after a checkpoint restart can land on a finish whose start
+        # belongs to the rolled-back epoch: fall back to a full exchange
+        return comm_api.HaloExchange(padded)
+    pending_ops.remove(match)
+    credit_s = 0.0
+    if interior_flops > 0.0:
+        rate = Config.get("commopt.stencil_gflops") \
+            or Config.get("cpu.flops_gflops")
+        credit_s = float(interior_flops) / (rate * 1e9)
+        comm.advance(credit_s)
+        world.commopt_note("overlap_credit_s", credit_s)
+    before = world.clocks[comm.rank]
+    match.complete()
+    world.account("HaloFinish", count=1,
+                  wait_s=max(0.0, world.clocks[comm.rank] - before))
+    return padded
+
+
+def drain_pending(ctx=None) -> int:
+    """Complete every outstanding nonblocking halo on this rank.
+
+    Called by the checkpoint boundary before a snapshot is cut, so deferred
+    operations never straddle a recovery line; returns the drain count."""
+    ctx = ctx or context.current()
+    if ctx is None:
+        return 0
+    pending_ops = _pending_list(ctx)
+    drained = 0
+    while pending_ops:
+        pending_ops.pop(0).complete()
+        drained += 1
+    return drained
+
+
+# ---------------------------------------------------------------------------
+# collective dedup
+# ---------------------------------------------------------------------------
+
+def _memo(ctx) -> Dict[str, Tuple[str, object]]:
+    memo = getattr(ctx, "commopt_memo", None)
+    if memo is None:
+        memo = ctx.commopt_memo = {}
+    return memo
+
+
+def block_scatter_cached(global_array: np.ndarray,
+                         shape=None, layout: str = "grid",
+                         site: str = "") -> np.ndarray:
+    """Loop-invariant :func:`~..comm_api.BlockScatter`.
+
+    ``BlockScatter`` is barrier-free (only clocks advance), so a per-rank
+    cache decision cannot desynchronize the SPMD state machines: a
+    (theoretically impossible) fingerprint mismatch just re-executes the
+    scatter eagerly on that rank.
+    """
+    ctx = context.require()
+    arr = np.asarray(global_array)
+    fp = _fingerprint(arr)
+    memo = _memo(ctx)
+    hit = memo.get(site)
+    if hit is not None and hit[0] == fp:
+        world = ctx.comm._world
+        world.commopt_note("dedup_hits", 1)
+        if ctx.rank == 0 and ctx.size > 1:
+            # what the eager scatter would have put on the wire
+            world.commopt_note("dedup_bytes_saved", int(arr.nbytes))
+        return np.copy(hit[1])
+    block = comm_api.BlockScatter(global_array, shape, layout)
+    memo[site] = (fp, np.copy(block))
+    return block
+
+
+def allreduce_cached(value, op: str = "sum", site: str = ""):
+    """Loop-invariant :func:`~..comm_api.Allreduce`.
+
+    Allreduce is clock-synchronizing, so the dedup decision must agree on
+    every rank.  The static pass guarantees the operand container is never
+    written; all ranks therefore hit (or miss) together.  A mismatch after
+    a hit elsewhere would deadlock — raise the structured divergence error
+    instead of communicating.
+    """
+    ctx = context.require()
+    arr = np.atleast_1d(np.asarray(value, dtype=np.float64))
+    fp = _fingerprint(arr) + f"|{op}"
+    memo = _memo(ctx)
+    hit = memo.get(site)
+    if hit is not None:
+        if hit[0] != fp:
+            raise CollectiveDivergenceError(
+                f"deduplicated Allreduce at {site or '<unknown site>'} saw "
+                f"a modified input buffer on rank {ctx.rank}; the static "
+                f"write-set analysis admitted a site it should not have")
+        world = ctx.comm._world
+        world.commopt_note("dedup_hits", 1)
+        if ctx.rank == 0 and ctx.size > 1:
+            world.commopt_note(
+                "dedup_bytes_saved", int(arr.nbytes) * (ctx.size - 1))
+        return hit[1]
+    result = comm_api.Allreduce(value, op=op)
+    memo[site] = (fp, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# small-message coalescing
+# ---------------------------------------------------------------------------
+
+def coalesce_send(comm, dest: int, tag: int, payloads: List[np.ndarray]):
+    """Fuse *payloads* into one envelope and send it as a single message.
+
+    The receiver unpacks with :func:`coalesce_recv` using the same shapes
+    and dtypes.  One message means the per-message overhead (and latency)
+    is paid once instead of ``len(payloads)`` times.
+    """
+    parts = [np.ascontiguousarray(p) for p in payloads]
+    if not parts:
+        raise ValueError("coalesce_send requires at least one payload")
+    dtype = parts[0].dtype
+    if any(p.dtype != dtype for p in parts):
+        raise ValueError("coalesced payloads must share a dtype")
+    envelope = np.concatenate([p.reshape(-1) for p in parts])
+    request = comm.Isend(envelope, dest, tag=tag)
+    comm._world.commopt_note("coalesced_messages", len(parts) - 1)
+    return request
+
+
+def coalesce_recv(comm, source: int, tag: int,
+                  shapes: List[Tuple[int, ...]], dtype) -> List[np.ndarray]:
+    """Receive one envelope from *source* and split it back into arrays."""
+    sizes = [int(np.prod(s)) for s in shapes]
+    envelope = np.empty(sum(sizes), dtype=dtype)
+    comm.Recv(envelope, source, tag=tag)
+    out, offset = [], 0
+    for shape, size in zip(shapes, sizes, strict=True):
+        out.append(envelope[offset:offset + size].reshape(shape).copy())
+        offset += size
+    return out

@@ -29,6 +29,7 @@ def _row_bcast(comm: Comm, grid: ProcessGrid, owner_col: int, data, shape, dtype
     """Broadcast within a grid row from the member at *owner_col*."""
     row, col = grid.coords(comm.rank)
     pr, pc = grid.dims
+    comm._world.account("PanelBcast", count=1)
     if col == owner_col:
         for dst_col in range(pc):
             if dst_col != col:
@@ -42,6 +43,7 @@ def _row_bcast(comm: Comm, grid: ProcessGrid, owner_col: int, data, shape, dtype
 def _col_bcast(comm: Comm, grid: ProcessGrid, owner_row: int, data, shape, dtype):
     row, col = grid.coords(comm.rank)
     pr, pc = grid.dims
+    comm._world.account("PanelBcast", count=1)
     if row == owner_row:
         for dst_row in range(pr):
             if dst_row != row:
@@ -75,7 +77,7 @@ def pgemm(comm: Comm, grid: ProcessGrid, local_a: np.ndarray,
     for r in range(pr):
         cuts.update(block_bounds(K, pr, r))
     boundaries = sorted(cuts)
-    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+    for lo, hi in zip(boundaries[:-1], boundaries[1:], strict=True):
         if lo >= hi:
             continue
         a_owner = next(c for c in range(pc)
@@ -135,6 +137,7 @@ def _ring_reduce_replicate(comm: Comm, grid: ProcessGrid, partial: np.ndarray,
     """Sum partials along a grid row/column and replicate the result there."""
     pr, pc = grid.dims
     row, col = grid.coords(comm.rank)
+    comm._world.account("RingReduce", count=1)
     members = ([grid.rank_of((row, c)) for c in range(pc)] if axis == "row"
                else [grid.rank_of((r, col)) for r in range(pr)])
     me = members.index(comm.rank)

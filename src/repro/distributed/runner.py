@@ -18,11 +18,13 @@ aborting the run.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..config import Config
 from ..resilience.distributed import RankSnapshot, run_spmd_supervised
 from ..simmpi.grid import ProcessGrid
 from ..simmpi.netmodel import FaultPlan, NetModel
@@ -43,6 +45,9 @@ class DistributedResult:
     failed_ranks: List[int] = field(default_factory=list)   # recovered ranks
     recovery_events: List[Any] = field(default_factory=list)
     op_counts: List[int] = field(default_factory=list)      # per-rank comm ops
+    op_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    commopt_stats: Dict[str, float] = field(default_factory=dict)
+    comm_report: Optional[Any] = None    # commopt.report.CommReport
 
     @property
     def modeled_time(self) -> float:
@@ -84,11 +89,21 @@ def run_distributed(program, size: int, grid: Optional[ProcessGrid] = None,
     govern = budget is not None and budget.deadline_s is not None
     if isinstance(program, DaceProgram):
         sdfg = program.to_sdfg()
-        compiled = compile_sdfg(sdfg, govern=govern)
     elif isinstance(program, SDFG):
-        compiled = compile_sdfg(program, govern=govern)
+        sdfg = program
     else:
         raise TypeError(f"cannot run {program!r} distributed")
+
+    # communication optimizer: opt in via config or $REPRO_COMM_OPT=1; the
+    # caller's SDFG is never mutated (passes rewrite a clone)
+    commopt_applied: Dict[str, int] = {}
+    if Config.get("commopt.enabled") \
+            or os.environ.get("REPRO_COMM_OPT", "") not in ("", "0"):
+        from .commopt import optimize_comm
+
+        sdfg = sdfg.clone()
+        commopt_applied = optimize_comm(sdfg)
+    compiled = compile_sdfg(sdfg, govern=govern)
 
     grid_obj = grid or ProcessGrid(size)
     visits_holder: Dict[int, int] = {}
@@ -151,8 +166,15 @@ def run_distributed(program, size: int, grid: Optional[ProcessGrid] = None,
         rank_fn, size, net=net, fault_plan=fault_plan, timeout_s=timeout_s,
         ckpt_interval=ckpt_interval, ckpt_comm_ops=ckpt_comm_ops,
         max_restarts=max_restarts, reset=reset, budget=budget)
+    from .commopt.report import build_report
+
+    comm_report = build_report(
+        run.op_stats, run.commopt_stats,
+        optimized=bool(commopt_applied) and any(commopt_applied.values()),
+        applied=commopt_applied, net=net, size=size)
     return DistributedResult(
         value=run.results[0], clocks=run.clocks, comm_stats=run.comm_stats,
         state_visits=visits_holder, per_rank_values=list(run.results),
         failed_ranks=run.failed_ranks, recovery_events=run.recovery_events,
-        op_counts=run.op_counts)
+        op_counts=run.op_counts, op_stats=run.op_stats,
+        commopt_stats=run.commopt_stats, comm_report=comm_report)

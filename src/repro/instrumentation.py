@@ -50,7 +50,7 @@ __all__ = [
 #: known region categories (free-form strings are accepted; these are the
 #: ones the built-in hooks emit)
 CATEGORIES = ("state", "map", "library", "pass", "phase", "cache", "attempt",
-              "recovery", "parallel", "governor")
+              "recovery", "parallel", "governor", "comm")
 
 #: the active collector; ``None`` means instrumentation is off (the single
 #: check every hot path performs)

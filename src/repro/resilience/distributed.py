@@ -295,6 +295,11 @@ class CheckpointManager:
                 # before everyone has read this round's
                 self._wait(rank, "checkpoint:skip")
                 return
+            # nonblocking comm (commopt halo overlap) must not straddle the
+            # recovery line: complete anything still in flight on this rank
+            from ..distributed.commopt.runtime import drain_pending
+
+            drain_pending()
             self._snaps[rank] = RankSnapshot.capture(
                 rank, state_index, containers, symbols)
             self._last_ops[rank] = self.world.op_counts[rank]
@@ -342,6 +347,8 @@ class SupervisedRun:
     op_counts: List[int] = field(default_factory=list)
     epochs: int = 1                  # 1 = fault-free single epoch
     checkpoints: int = 0             # committed over the whole run
+    op_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    commopt_stats: Dict[str, float] = field(default_factory=dict)
 
 
 def classify_failure(exc: BaseException) -> bool:
@@ -453,7 +460,10 @@ def run_spmd_supervised(rank_fn: Callable[[Comm, Optional[RankSnapshot]], Any],
                 comm_stats=world.comm_stats, recovery_events=events,
                 failed_ranks=sorted(ever_failed),
                 op_counts=list(world.op_counts),
-                epochs=epoch + 1, checkpoints=store.commits)
+                epochs=epoch + 1, checkpoints=store.commits,
+                op_stats={op: dict(st)
+                          for op, st in world.op_stats.items()},
+                commopt_stats=dict(world.commopt_stats))
 
         primaries = primary_failures(world)
         ever_failed.update(primaries)

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from .. import instrumentation as _instrumentation
 from ..config import Config
 from ..governor.budget import tick as _governor_tick
 from .netmodel import FaultPlan, NetModel
@@ -170,6 +171,14 @@ class _World:
         self.coll_slots: List[Any] = [None] * size
         self.comm_stats = {"messages": 0, "bytes": 0, "retransmissions": 0,
                            "duplicates_suppressed": 0, "stale_discarded": 0}
+        #: per-operation counters (DESIGN.md §13): op name -> count / bytes
+        #: on the wire / virtual seconds spent blocked waiting for the op
+        self.op_stats: Dict[str, Dict[str, float]] = {}
+        #: communication-optimizer effect counters (repro.distributed.commopt)
+        self.commopt_stats: Dict[str, float] = {
+            "dedup_hits": 0, "dedup_bytes_saved": 0,
+            "coalesced_messages": 0, "overlap_credit_s": 0.0,
+        }
         self._stats_lock = threading.Lock()
         #: rank -> first exception raised on that rank
         self.failures: Dict[int, BaseException] = {}
@@ -214,6 +223,32 @@ class _World:
             if stat == "messages":
                 self.comm_stats["bytes"] += nbytes
 
+    def account(self, op: str, count: int = 0, nbytes: int = 0,
+                wait_s: float = 0.0) -> None:
+        """Attribute communication to a named operation.
+
+        ``count``/``nbytes`` are incremented at the op's primary call site;
+        ``wait_s`` is the *virtual* time the calling rank spent blocked (the
+        receive-side arrival gap or the collective synchronization gap), the
+        quantity the overlap optimizer drives down.  Surfaces as the ``comm``
+        instrumentation category when a profile collector is active.
+        """
+        with self._stats_lock:
+            st = self.op_stats.setdefault(
+                op, {"count": 0, "bytes": 0, "wait_s": 0.0})
+            st["count"] += count
+            st["bytes"] += nbytes
+            st["wait_s"] += wait_s
+        coll = _instrumentation._ACTIVE
+        if coll is not None:
+            coll.add("comm", op, wait_s)
+
+    def commopt_note(self, stat: str, value: float = 1) -> None:
+        """Bump a communication-optimizer effect counter (dedup/coalesce/
+        overlap); keyed into :class:`~repro.distributed.commopt.CommReport`."""
+        with self._stats_lock:
+            self.commopt_stats[stat] = self.commopt_stats.get(stat, 0) + value
+
     def fail(self, exc: BaseException, rank: int = -1) -> None:
         """Record a rank failure and break everyone out of barriers.
 
@@ -249,6 +284,8 @@ class _World:
             seq = dict(self._seq)
         with self._stats_lock:
             stats = dict(self.comm_stats)
+            op_stats = {op: dict(st) for op, st in self.op_stats.items()}
+            commopt_stats = dict(self.commopt_stats)
         return {
             "clocks": list(self.clocks),
             "op_counts": list(self.op_counts),
@@ -256,6 +293,8 @@ class _World:
             "delivered": {k: set(v) for k, v in self.delivered.items()},
             "mailboxes": boxes,
             "comm_stats": stats,
+            "op_stats": op_stats,
+            "commopt_stats": commopt_stats,
         }
 
     def restore_comm(self, snap: Dict[str, Any]) -> None:
@@ -272,6 +311,11 @@ class _World:
         self.delivered = {k: set(v) for k, v in snap["delivered"].items()}
         with self._stats_lock:
             self.comm_stats.update(snap["comm_stats"])
+            # pre-epoch checkpoints (or hand-built snapshots) may predate
+            # the per-op counters; restore what is present
+            for op, st in snap.get("op_stats", {}).items():
+                self.op_stats[op] = dict(st)
+            self.commopt_stats.update(snap.get("commopt_stats", {}))
         for key, msgs in snap["mailboxes"].items():
             box = self.mailbox(*key)
             for (_epoch, seqno, data, sent_at, nbytes) in msgs:
@@ -365,6 +409,7 @@ class Comm:
         while True:
             world.clocks[self.rank] += net.send_overhead(nbytes)
             world.record(nbytes)
+            world.account("Send", count=1, nbytes=nbytes)
             if plan is not None and plan.drop(channel):
                 attempt += 1
                 if attempt > retries:
@@ -390,6 +435,7 @@ class Comm:
         desc = f"Recv(source={source}, tag={tag})"
         self._op(desc)
         world = self._world
+        clock_before = world.clocks[self.rank]
         box = world.mailbox(source, self.rank, tag)
         delivered = world.delivered.setdefault((source, self.rank, tag), set())
         world.pending[self.rank] = desc
@@ -418,8 +464,13 @@ class Comm:
                 break
         finally:
             world.pending[self.rank] = None
-        world.clocks[self.rank] = max(world.clocks[self.rank],
-                                      sent_at + world.net.latency_s)
+        # virtual wait: how long this rank's clock stalls for the arrival
+        # (zero when computation already advanced the clock past it — the
+        # quantity the overlap optimizer removes from the critical path)
+        arrival = sent_at + world.net.latency_s
+        world.account("Recv", count=1,
+                      wait_s=max(0.0, arrival - clock_before))
+        world.clocks[self.rank] = max(world.clocks[self.rank], arrival)
         target = np.asarray(buf)
         if datatype is not None:
             datatype.unpack(target.reshape(-1), data)
@@ -491,14 +542,19 @@ class Comm:
     def _sync_clocks(self, cost: float, desc: str = "collective") -> None:
         """Collectives synchronize: all clocks advance to max + cost."""
         world = self._world
-        world.coll_slots[self.rank] = world.clocks[self.rank]
+        before = world.clocks[self.rank]
+        world.coll_slots[self.rank] = before
         self._barrier_wait(desc)
         peak = max(world.coll_slots)
         self._barrier_wait(desc)
+        # wait = how long this rank idles for the slowest participant
+        world.account(desc.split("(", 1)[0],
+                      wait_s=max(0.0, peak - before))
         world.clocks[self.rank] = peak + cost
 
     def Barrier(self) -> None:
         self._op("Barrier()")
+        self._world.account("Barrier", count=1)
         self._sync_clocks(self._world.net.barrier(self.size), "Barrier()")
 
     def Bcast(self, buf, root: int = 0):
@@ -510,6 +566,8 @@ class Comm:
             np.copyto(arr, slots[root].reshape(arr.shape))
         self._sync_clocks(self._world.net.bcast(arr.nbytes, self.size), desc)
         self._world.record(arr.nbytes * (self.size - 1))
+        self._world.account("Bcast", count=1,
+                            nbytes=arr.nbytes * (self.size - 1))
         return arr
 
     def bcast(self, obj, root: int = 0):
@@ -517,6 +575,7 @@ class Comm:
         desc = f"bcast(root={root})"
         slots = self._exchange(obj if self.rank == root else None, desc)
         nbytes = getattr(slots[root], "nbytes", 64)
+        self._world.account("bcast", count=1, nbytes=int(nbytes))
         self._sync_clocks(self._world.net.bcast(int(nbytes), self.size), desc)
         return slots[root]
 
@@ -531,6 +590,7 @@ class Comm:
         total = int(chunks.nbytes)
         self._sync_clocks(self._world.net.scatter(total, self.size), desc)
         self._world.record(total)
+        self._world.account("Scatter", count=1, nbytes=total)
         return recv
 
     def Gather(self, sendbuf, recvbuf, root: int = 0):
@@ -545,6 +605,7 @@ class Comm:
         total = send.nbytes * self.size
         self._sync_clocks(self._world.net.gather(total, self.size), desc)
         self._world.record(total)
+        self._world.account("Gather", count=1, nbytes=total)
         return recvbuf
 
     def Allgather(self, sendbuf, recvbuf):
@@ -557,6 +618,8 @@ class Comm:
         self._sync_clocks(self._world.net.allgather(send.nbytes, self.size),
                           "Allgather()")
         self._world.record(send.nbytes * (self.size - 1))
+        self._world.account("Allgather", count=1,
+                            nbytes=send.nbytes * (self.size - 1))
         return recv
 
     def Allreduce(self, sendbuf, recvbuf, op: str = "sum"):
@@ -574,6 +637,8 @@ class Comm:
         self._sync_clocks(self._world.net.allreduce(send.nbytes, self.size),
                           f"Allreduce(op={op!r})")
         self._world.record(send.nbytes * (self.size - 1))
+        self._world.account("Allreduce", count=1,
+                            nbytes=send.nbytes * (self.size - 1))
         return recv
 
     def Reduce(self, sendbuf, recvbuf, op: str = "sum", root: int = 0):
@@ -592,6 +657,8 @@ class Comm:
             np.copyto(recv, total.reshape(recv.shape))
         self._sync_clocks(self._world.net.reduce(send.nbytes, self.size), desc)
         self._world.record(send.nbytes * (self.size - 1))
+        self._world.account("Reduce", count=1,
+                            nbytes=send.nbytes * (self.size - 1))
         return recvbuf
 
     def Alltoall(self, sendbuf, recvbuf):
@@ -604,6 +671,7 @@ class Comm:
         self._sync_clocks(self._world.net.alltoall(send[0].nbytes, self.size),
                           "Alltoall()")
         self._world.record(send.nbytes)
+        self._world.account("Alltoall", count=1, nbytes=send.nbytes)
         return recvbuf
 
 

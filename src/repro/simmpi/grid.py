@@ -59,7 +59,7 @@ class ProcessGrid:
 
     def rank_of(self, coords: Tuple[int, ...]) -> int:
         rank = 0
-        for coord, extent in zip(coords, self.dims):
+        for coord, extent in zip(coords, self.dims, strict=True):
             if not (0 <= coord < extent):
                 return -1
             rank = rank * extent + coord

@@ -1,7 +1,9 @@
-"""Distributed-memory transformations (§4)."""
+"""Distributed-memory transformations (§4) and the comm optimizer (§13)."""
 
+from .commopt import DeduplicateCollectives, OverlapHaloExchange
 from .distribute import (DeduplicateComm, DistributeElementWiseArrayOp,
                          RemoveRedundantComm)
 
 __all__ = ["DistributeElementWiseArrayOp", "RemoveRedundantComm",
-           "DeduplicateComm"]
+           "DeduplicateComm", "OverlapHaloExchange",
+           "DeduplicateCollectives"]

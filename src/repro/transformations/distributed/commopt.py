@@ -1,0 +1,66 @@
+"""Pattern-matching wrappers over the communication optimizer passes.
+
+The comm optimizer (:mod:`repro.distributed.commopt`) exposes whole-SDFG
+entry points; these classes adapt them to the repository's
+:class:`~repro.transformations.base.Transformation` protocol so they
+compose with ``sdfg.apply(...)`` pipelines, the transactional rollback in
+:func:`repro.autoopt.auto_optimize`, and the pass timers.
+"""
+
+from __future__ import annotations
+
+from ..base import Transformation
+
+__all__ = ["OverlapHaloExchange", "DeduplicateCollectives"]
+
+
+class OverlapHaloExchange(Transformation):
+    """Split blocking halo exchanges into start/interior/finish/boundary
+    (see :mod:`repro.distributed.commopt.plan`)."""
+
+    name = "OverlapHaloExchange"
+
+    @classmethod
+    def matches(cls, sdfg, **options):
+        from ...distributed.commopt.plan import (_EAGER_CALL, _analyze_site,
+                                                 _check_safety, _find_sites)
+
+        for state in sdfg.states():
+            for tasklet in _find_sites(sdfg, state):
+                site = _analyze_site(sdfg, state, tasklet)
+                if site is not None and _check_safety(sdfg, state, site):
+                    yield site
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options):
+        from ...distributed.commopt.plan import _rewrite_site
+
+        _rewrite_site(sdfg, match.state, match)
+
+
+class DeduplicateCollectives(Transformation):
+    """Memoize collectives whose source container is provably never
+    written (see :mod:`repro.distributed.commopt.dedup`)."""
+
+    name = "DeduplicateCollectives"
+
+    @classmethod
+    def matches(cls, sdfg, **options):
+        from ...distributed.commopt.dedup import (_dedup_candidates,
+                                                  written_containers)
+
+        yield from _dedup_candidates(sdfg, written_containers(sdfg))
+
+    @classmethod
+    def apply_match(cls, sdfg, match, **options):
+        from ...distributed.commopt import dedup as _dedup
+        from ...distributed.commopt import runtime as rt
+
+        state, tasklet, call = match
+        cached = _dedup._REWRITES[call]
+        site = f"{state.label}:{tasklet.label}:{id(tasklet):x}"
+        tasklet.code = _dedup._rewrite_call(tasklet.code, call, cached, site)
+        sdfg.constants[cached] = {
+            "__commopt_BlockScatter_cached": rt.block_scatter_cached,
+            "__commopt_Allreduce_cached": rt.allreduce_cached,
+        }[cached]
