@@ -207,7 +207,14 @@ class _Generator:
             return "(slice(0, 1, 1),)"
         dims = []
         for begin, end, step in subset.dims:
-            dims.append(f"slice(({begin}), ({end}) + 1, ({step}))")
+            if all(isinstance(x, Integer) for x in (begin, end, step)):
+                # constant dims: bake the slice (make_slice handles empty
+                # ranges and descending steps; a naive `end + 1` stop is
+                # wrong for both)
+                s = make_slice(1, 0, begin.value, end.value, step.value)
+                dims.append(f"slice({s.start}, {s.stop}, {s.step})")
+            else:
+                dims.append(f"make_slice(1, 0, ({begin}), ({end}), ({step}))")
         return "(" + ", ".join(dims) + ("," if len(dims) == 1 else "") + ")"
 
     def _memlet_index_code(self, memlet: Memlet) -> str:

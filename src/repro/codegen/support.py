@@ -65,8 +65,13 @@ def make_slice(a: int, c: int, lo: int, hi: int, st: int) -> slice:
 
 
 def dim_length(lo: int, hi: int, st: int) -> int:
-    """Number of iterations of an inclusive symbolic range."""
-    return (hi - lo) // st + 1
+    """Number of iterations of an inclusive symbolic range.
+
+    Zero-trip ranges (e.g. a triangular dimension ``0:i`` at ``i == 0``,
+    arriving as ``lo=0, hi=-1``) must clamp to 0: the raw formula goes
+    negative, and a negative extent poisons downstream broadcast shapes.
+    """
+    return max(0, (hi - lo) // st + 1)
 
 
 def align_axes(view: np.ndarray, axes: Sequence[int], k: int) -> np.ndarray:
@@ -108,11 +113,13 @@ def store_aligned(dst: np.ndarray, idx: Tuple, value: np.ndarray,
     perm = list(axes)
     if perm != sorted(perm):
         # canonical -> output order
-        value = value.transpose(_inverse_to(perm))
-    elif value.ndim != len(perm):
-        pass
+        value = value.transpose(perm)
     target = dst[idx]
     if value.shape != target.shape:
+        if value.size != target.size:
+            raise ValueError(
+                f"store_aligned: value shape {value.shape} incompatible "
+                f"with target shape {target.shape} (axes={perm})")
         value = value.reshape(target.shape)
     dst[idx] = value
 

@@ -99,6 +99,9 @@ class ProgramVisitor:
         self._loop_stack: List[Tuple[SDFGState, SDFGState, Dict[str, str]]] = []
         self._terminated = False
         self._tmp_symbol_counter = 0
+        # map parameters of the scope currently being parsed; these take
+        # precedence over same-named module globals / symtable constants
+        self._scope_params: List[str] = []
 
     # ------------------------------------------------------------------ setup
     def parse(self, func_ast: ast.FunctionDef,
@@ -655,14 +658,24 @@ class ProgramVisitor:
         squeezed: List[int] = []
         for axis, (element, size) in enumerate(zip(elements, desc.shape)):
             if isinstance(element, ast.Slice):
-                begin = (self._index_expr(element.lower, size)
-                         if element.lower is not None else Integer(0))
-                if element.upper is None:
-                    end = size - 1
-                else:
-                    end = self._index_expr(element.upper, size) - 1
-                step = (self._index_expr(element.step, size)
+                step = (self._index_expr_inner(element.step)
                         if element.step is not None else Integer(1))
+                descending = isinstance(step, Integer) and step.value < 0
+                if element.lower is not None:
+                    begin = self._index_expr(element.lower, size)
+                elif descending:
+                    begin = size - 1
+                else:
+                    begin = Integer(0)
+                if element.upper is not None:
+                    # the exclusive stop becomes inclusive one step inward:
+                    # +1 when walking down, -1 when walking up
+                    end = self._index_expr(element.upper, size) \
+                        + (Integer(1) if descending else Integer(-1))
+                elif descending:
+                    end = Integer(0)
+                else:
+                    end = size - 1
                 dims.append((begin, end, step))
             else:
                 point = self._index_expr(element, size)
@@ -682,6 +695,10 @@ class ProgramVisitor:
                 raise UnsupportedFeature(f"non-integer index {node.value!r}")
             return Integer(node.value)
         if isinstance(node, ast.Name):
+            if node.id in self._scope_params:
+                # an enclosing map's parameter shadows same-named globals
+                # and symtable constants
+                return Symbol(node.id, nonnegative=False)
             operand = self.symtable.get(node.id)
             if operand is None:
                 value = self.globals.get(node.id)
@@ -974,7 +991,11 @@ class ProgramVisitor:
 
         state = self._new_state("map")
         builder = TaskletBuilder(self, params)
-        code, inputs, outputs = builder.build(node.body)
+        self._scope_params.extend(params)
+        try:
+            code, inputs, outputs = builder.build(node.body)
+        finally:
+            del self._scope_params[-len(params):]
         state.add_mapped_tasklet(
             "map", {p: rng.dims[i] for i, p in enumerate(params)},
             inputs, code, outputs)

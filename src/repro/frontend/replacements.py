@@ -76,16 +76,15 @@ def dispatch_call(visitor: ProgramVisitor, node: ast.Call, statement: bool = Fal
 
 def _dispatch_method(visitor: ProgramVisitor, base: ArrayOp, node: ast.Call):
     method = node.func.attr
-    if method == "sum":
-        return _emit_reduce(visitor, base, "sum", _axis_of(visitor, node))
-    if method == "min":
-        return _emit_reduce(visitor, base, "min", _axis_of(visitor, node))
-    if method == "max":
-        return _emit_reduce(visitor, base, "max", _axis_of(visitor, node))
-    if method == "prod":
-        return _emit_reduce(visitor, base, "prod", _axis_of(visitor, node))
+    if method in ("sum", "min", "max", "prod"):
+        # method form: the array is the receiver, so a positional axis
+        # sits at args[0] (not args[1] as in the free-function form)
+        return _emit_reduce(visitor, base, method,
+                            _axis_of(visitor, node, start=0),
+                            keepdims=_keepdims_of(visitor, node))
     if method == "mean":
-        return _emit_mean(visitor, base, _axis_of(visitor, node))
+        return _emit_mean(visitor, base, _axis_of(visitor, node, start=0),
+                          keepdims=_keepdims_of(visitor, node))
     if method == "copy":
         return _emit_copy_of(visitor, base)
     if method == "astype":
@@ -107,14 +106,18 @@ def _dispatch_method(visitor: ProgramVisitor, base: ArrayOp, node: ast.Call):
 # Helpers
 # ---------------------------------------------------------------------------
 
-def _axis_of(visitor: ProgramVisitor, node: ast.Call) -> Optional[Tuple[int, ...]]:
+def _axis_of(visitor: ProgramVisitor, node: ast.Call,
+             start: int = 1) -> Optional[Tuple[int, ...]]:
+    """Static reduction axes of a call.  *start* is the position of the
+    axis argument: 1 for free functions (``np.sum(A, axis)``), 0 for
+    method calls (``A.sum(axis)``, where the array is not an argument)."""
     axis_node = None
     for kw in node.keywords:
         if kw.arg == "axis":
             axis_node = kw.value
-    if axis_node is None and len(node.args) >= 2 and not isinstance(node.args[0], ast.Starred):
-        # positional axis for np.sum(A, axis)
-        axis_node = node.args[1]
+    if axis_node is None and len(node.args) > start \
+            and not any(isinstance(a, ast.Starred) for a in node.args):
+        axis_node = node.args[start]
     if axis_node is None:
         return None
     ok, value = static_eval(axis_node, visitor.globals)
@@ -125,6 +128,31 @@ def _axis_of(visitor: ProgramVisitor, node: ast.Call) -> Optional[Tuple[int, ...
     if isinstance(value, int):
         return (value,)
     return tuple(int(v) for v in value)
+
+
+def _keepdims_of(visitor: ProgramVisitor, node: ast.Call) -> bool:
+    for kw in node.keywords:
+        if kw.arg == "keepdims":
+            ok, value = static_eval(kw.value, visitor.globals)
+            if not ok:
+                raise UnsupportedFeature("keepdims must be a constant")
+            return bool(value)
+    return False
+
+
+def _normalize_axes(axes: Optional[Tuple[int, ...]],
+                    ndim: int) -> Optional[Tuple[int, ...]]:
+    """Validate and wrap negative reduction axes (NumPy semantics: an axis
+    outside ``[-ndim, ndim)`` is an error, not a silent modulo)."""
+    if axes is None:
+        return None
+    norm = []
+    for a in axes:
+        if not -ndim <= a < ndim:
+            raise UnsupportedFeature(
+                f"reduction axis {a} out of range for {ndim}-d array")
+        norm.append(a + ndim if a < 0 else a)
+    return tuple(norm)
 
 
 def _shape_from_node(visitor: ProgramVisitor, node: ast.expr) -> Tuple[Expr, ...]:
@@ -170,15 +198,15 @@ def _alloc(visitor: ProgramVisitor, node: ast.Call, fill: Optional[float]) -> Op
 
 
 def _emit_reduce(visitor: ProgramVisitor, operand: ArrayOp, wcr: str,
-                 axes: Optional[Tuple[int, ...]]) -> Operand:
+                 axes: Optional[Tuple[int, ...]],
+                 keepdims: bool = False) -> Operand:
     from ..library.reduce import Reduce
 
     desc = visitor._desc(operand)
     if isinstance(desc, Scalar):
         return operand
     ndim = desc.ndim
-    if axes is not None:
-        axes = tuple(a % ndim for a in axes)
+    axes = _normalize_axes(axes, ndim)
     out_dims = [desc.shape[i] for i in range(ndim)
                 if axes is not None and i not in axes]
     out = visitor._tmp(tuple(out_dims) if out_dims else (), desc.dtype)
@@ -193,17 +221,60 @@ def _emit_reduce(visitor: ProgramVisitor, operand: ArrayOp, wcr: str,
         state.add_edge(red, "_out", dst, None, Memlet(out, Range.from_string("0")))
     else:
         state.add_edge(red, "_out", dst, None, Memlet.from_array(out, out_desc))
-    return ArrayOp(out)
+    if not keepdims:
+        return ArrayOp(out)
+    return _emit_keepdims(visitor, out, desc, axes)
+
+
+def _emit_keepdims(visitor: ProgramVisitor, reduced: str, src_desc,
+                   axes: Optional[Tuple[int, ...]]) -> Operand:
+    """Copy a reduced result into a view-compatible shape with size-1
+    entries at the reduced axes (``keepdims=True`` semantics)."""
+    ndim = src_desc.ndim
+    red_axes = set(axes) if axes is not None else set(range(ndim))
+    keep_shape = tuple(Integer(1) if i in red_axes else src_desc.shape[i]
+                       for i in range(ndim))
+    keep = visitor._tmp(keep_shape, src_desc.dtype)
+    state = visitor._new_state("keepdims")
+    out_desc = visitor.sdfg.arrays[reduced]
+    kept = [i for i in range(ndim) if i not in red_axes]
+    if isinstance(out_desc, Scalar):
+        tasklet = state.add_tasklet("keepdims", {"__in"}, {"__out"},
+                                    "__out = __in")
+        state.add_edge(state.add_read(reduced), None, tasklet, "__in",
+                       Memlet(reduced, Range.from_string("0")))
+        state.add_edge(tasklet, "__out", state.add_write(keep), None,
+                       Memlet(keep, Range.from_indices(
+                           [Integer(0)] * ndim)))
+        return ArrayOp(keep)
+    params = [f"__k{i}" for i in range(len(kept))]
+    dims = {p: (Integer(0), src_desc.shape[axis] - 1, Integer(1))
+            for p, axis in zip(params, kept)}
+    in_memlet = Memlet(reduced, Range.from_indices(
+        [Symbol(p, nonnegative=False) for p in params]))
+    out_indices: List[Expr] = []
+    param_iter = iter(params)
+    for i in range(ndim):
+        out_indices.append(Integer(0) if i in red_axes
+                           else Symbol(next(param_iter), nonnegative=False))
+    state.add_mapped_tasklet(
+        "keepdims", dims, {"__in": in_memlet}, "__out = __in",
+        {"__out": Memlet(keep, Range.from_indices(out_indices))})
+    return ArrayOp(keep)
 
 
 def _emit_mean(visitor: ProgramVisitor, operand: ArrayOp,
-               axes: Optional[Tuple[int, ...]]) -> Operand:
+               axes: Optional[Tuple[int, ...]],
+               keepdims: bool = False) -> Operand:
     desc = visitor._desc(operand)
-    total = _emit_reduce(visitor, operand, "sum", axes)
+    if isinstance(desc, Scalar):
+        return operand
+    axes = _normalize_axes(axes, desc.ndim)
+    total = _emit_reduce(visitor, operand, "sum", axes, keepdims=keepdims)
     axes_eff = axes if axes is not None else tuple(range(desc.ndim))
     count: Expr = Integer(1)
     for axis in axes_eff:
-        count = count * desc.shape[axis % desc.ndim]
+        count = count * desc.shape[axis]
     return visitor._emit_binary("/", total, SymOp(count))
 
 
@@ -323,7 +394,8 @@ def _np_sum(visitor, node):
     operand = visitor._parse_expr(node.args[0])
     if not isinstance(operand, ArrayOp):
         return operand
-    return _emit_reduce(visitor, operand, "sum", _axis_of(visitor, node))
+    return _emit_reduce(visitor, operand, "sum", _axis_of(visitor, node),
+                        keepdims=_keepdims_of(visitor, node))
 
 
 @register_replacement(np.prod)
@@ -331,7 +403,8 @@ def _np_prod(visitor, node):
     operand = visitor._parse_expr(node.args[0])
     if not isinstance(operand, ArrayOp):
         return operand
-    return _emit_reduce(visitor, operand, "prod", _axis_of(visitor, node))
+    return _emit_reduce(visitor, operand, "prod", _axis_of(visitor, node),
+                        keepdims=_keepdims_of(visitor, node))
 
 
 @register_replacement(np.min, np.amin)
@@ -339,7 +412,8 @@ def _np_min(visitor, node):
     operand = visitor._parse_expr(node.args[0])
     if not isinstance(operand, ArrayOp):
         return operand
-    return _emit_reduce(visitor, operand, "min", _axis_of(visitor, node))
+    return _emit_reduce(visitor, operand, "min", _axis_of(visitor, node),
+                        keepdims=_keepdims_of(visitor, node))
 
 
 @register_replacement(np.max, np.amax)
@@ -347,7 +421,8 @@ def _np_max(visitor, node):
     operand = visitor._parse_expr(node.args[0])
     if not isinstance(operand, ArrayOp):
         return operand
-    return _emit_reduce(visitor, operand, "max", _axis_of(visitor, node))
+    return _emit_reduce(visitor, operand, "max", _axis_of(visitor, node),
+                        keepdims=_keepdims_of(visitor, node))
 
 
 @register_replacement(np.mean)
@@ -355,7 +430,8 @@ def _np_mean(visitor, node):
     operand = visitor._parse_expr(node.args[0])
     if not isinstance(operand, ArrayOp):
         return operand
-    return _emit_mean(visitor, operand, _axis_of(visitor, node))
+    return _emit_mean(visitor, operand, _axis_of(visitor, node),
+                      keepdims=_keepdims_of(visitor, node))
 
 
 @register_replacement(np.matmul, np.dot)

@@ -1,0 +1,36 @@
+"""Differential pipeline fuzzer (see DESIGN.md §14).
+
+Seeded program generation (:mod:`repro.fuzz.gen`), config-variant and
+structural mutation (:mod:`repro.fuzz.mutate`), cross-tier differential
+execution (:mod:`repro.fuzz.runner`) and delta-debugging shrink +
+corpus serialization (:mod:`repro.fuzz.shrink`).
+
+CLI: ``python -m repro.fuzz run|replay|shrink``.
+"""
+
+from .gen import GenCase, generate_case, render_module
+from .mutate import DEFAULT_VARIANT, mutate_case, variant_for
+from .runner import (
+    CampaignReport,
+    CaseResult,
+    failure_detail,
+    run_campaign,
+    run_gen_case,
+    run_source_case,
+)
+from .shrink import (
+    corpus_entry,
+    corpus_files,
+    load_corpus_entry,
+    save_corpus_entry,
+    shrink_case,
+)
+
+__all__ = [
+    "GenCase", "generate_case", "render_module",
+    "DEFAULT_VARIANT", "mutate_case", "variant_for",
+    "CampaignReport", "CaseResult", "failure_detail", "run_campaign",
+    "run_gen_case", "run_source_case",
+    "corpus_entry", "corpus_files", "load_corpus_entry",
+    "save_corpus_entry", "shrink_case",
+]

@@ -1,0 +1,144 @@
+"""Mutation engine: config variants and structural case mutations.
+
+Two orthogonal mutation axes:
+
+* **Config variants** — the same program re-run under different pipeline
+  configuration (thread count, sanitizer, governor, compile-cache cold vs
+  warm).  A correct pipeline must produce tier-identical results under
+  every variant; the variant schedule is deterministic in the case index.
+* **Structural mutations** — small legal edits to a generated case
+  (swapped elementwise templates, perturbed reduction axes, toggled
+  ``keepdims``, changed slice modes, renamed map parameters — including
+  renames *onto* module-global names, which exercises frontend scoping).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from .gen import (
+    _EWISE_BINARY,
+    _EWISE_UNARY,
+    _MAP_RHS,
+    GLOBAL_NAMES,
+    PARAM_NAMES,
+    EwiseStmt,
+    GenCase,
+    MapStmt,
+    ReduceStmt,
+    ReturnStmt,
+    SliceStmt,
+    TriMapStmt,
+)
+
+__all__ = ["DEFAULT_VARIANT", "variant_for", "variant_overrides", "mutate_case"]
+
+#: baseline configuration: serial, no sanitizer, no governor, cold cache
+DEFAULT_VARIANT: Dict[str, object] = {
+    "threads": 0, "sanitize": False, "govern": False, "cache": "cold",
+}
+
+_VARIANTS = [
+    {},                                      # baseline
+    {"threads": 2},                          # multicore pool on
+    {"sanitize": True},                      # bounds+nan guards on
+    {"govern": True},                        # governor armed (generous)
+    {"cache": "warm"},                       # cold vs warm bitwise equality
+    {"threads": 2, "sanitize": True},
+    {"threads": 2, "cache": "warm"},
+]
+
+
+def variant_for(index: int, rng: random.Random) -> Dict[str, object]:
+    """Deterministic variant schedule: every 2nd case runs the baseline so
+    core-pipeline bugs are never masked by variant noise; the rest cycle
+    through the variant table."""
+    if index % 2 == 0:
+        chosen: Dict[str, object] = {}
+    else:
+        chosen = _VARIANTS[(index // 2) % len(_VARIANTS)]
+    return dict(DEFAULT_VARIANT, **chosen)
+
+
+def variant_overrides(variant: Dict[str, object],
+                      workdir: str) -> Dict[str, object]:
+    """Translate a variant dict into ``Config.override`` keyword form
+    (dots written as ``__``)."""
+    overrides: Dict[str, object] = {
+        "device__cpu_threads": int(variant.get("threads", 0)),
+    }
+    if variant.get("sanitize"):
+        overrides["sanitize__mode"] = "bounds,nan"
+    if variant.get("govern"):
+        overrides["governor__deadline_s"] = 60.0
+        overrides["governor__max_bytes"] = 1 << 30
+    if variant.get("cache") == "warm":
+        overrides["cache__enabled"] = True
+        overrides["cache__dir"] = workdir
+    else:
+        overrides["cache__enabled"] = False
+    # low dispatch threshold so small fuzz kernels actually exercise the pool
+    if int(variant.get("threads", 0)) > 1:
+        overrides["parallel__min_work"] = 1
+    return overrides
+
+
+# ---------------------------------------------------------------------------
+# Structural mutations
+# ---------------------------------------------------------------------------
+
+def mutate_case(case: GenCase, rng: random.Random) -> GenCase:
+    """Return a mutated clone of *case* (the original is not modified).
+    Mutations preserve validity by construction; as a backstop, an edit
+    that breaks def-before-use is rolled back."""
+    mutated = case.clone()
+    editable = [s for s in mutated.stmts
+                if isinstance(s, (EwiseStmt, ReduceStmt, SliceStmt,
+                                  MapStmt, TriMapStmt))]
+    if not editable:
+        return mutated
+    stmt = rng.choice(editable)
+    if isinstance(stmt, EwiseStmt):
+        pool = _EWISE_BINARY if len(stmt.operands) >= 2 else _EWISE_UNARY
+        stmt.template = rng.choice(pool)
+        if len(stmt.operands) > pool[0].count("{"):
+            # scalar tail was dropped by the template swap: trim operands
+            stmt.operands = stmt.operands[:2]
+    elif isinstance(stmt, ReduceStmt):
+        out_dims_before = stmt.out_dims()
+        choice = rng.random()
+        rank = len(stmt.src_dims)
+        if choice < 0.4 and rank:
+            stmt.axis = rng.randrange(-rank, rank)
+        elif choice < 0.7:
+            stmt.keepdims = not stmt.keepdims and stmt.axis is not None
+            if stmt.keepdims:
+                stmt.method = False
+        else:
+            stmt.method = not stmt.method and not stmt.keepdims
+        if stmt.out_dims() != out_dims_before and any(
+                stmt.dest in s.uses for s in mutated.stmts
+                if s is not stmt and not isinstance(s, ReturnStmt)):
+            # a shape change would break a downstream consumer of the temp
+            # (e.g. slicing a now-scalar result) in the *reference* too,
+            # producing an invalid case rather than a finding: roll back
+            return case.clone()
+    elif isinstance(stmt, SliceStmt):
+        stmt.mode = rng.choice(["asc", "asc2", "desc", "rev"])
+    elif isinstance(stmt, MapStmt):
+        if rng.random() < 0.5:
+            stmt.rhs_template = rng.choice(_MAP_RHS[:2]).replace("{1}", "{0}") \
+                if len(stmt.reads) == 1 else rng.choice(_MAP_RHS)
+        else:
+            # rename a map parameter — possibly onto a module-global name
+            fresh = rng.choice(PARAM_NAMES + GLOBAL_NAMES)
+            if fresh not in stmt.params:
+                which = rng.randrange(len(stmt.params))
+                stmt.params = tuple(fresh if idx == which else p
+                                    for idx, p in enumerate(stmt.params))
+    elif isinstance(stmt, TriMapStmt):
+        stmt.delta = 1 - stmt.delta
+    if not mutated.is_valid():
+        return case.clone()
+    return mutated

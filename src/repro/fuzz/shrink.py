@@ -1,0 +1,141 @@
+"""Delta-debugging shrinker and corpus serialization.
+
+``shrink_case`` reduces a failing :class:`~repro.fuzz.gen.GenCase` to a
+local minimum under a caller-supplied predicate (``True`` = still fails):
+
+1. **Statement removal** — repeatedly drop any statement whose removal
+   keeps the case def-before-use valid and still failing (greedy, reverse
+   order, to fixed point).
+2. **Size shrinking** — walk every size variable down toward 2 while the
+   failure persists.
+3. **Global pruning** — drop module globals that are not load-bearing.
+
+Minimal repros serialize to ``tests/fuzz_corpus/`` as schema
+``repro-fuzz/1`` JSON: the rendered module source plus the input
+descriptors, enough to replay the case across all tiers without the
+generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Callable, Dict, List, Optional
+
+from .gen import GenCase, ReturnStmt, render_module
+
+__all__ = ["shrink_case", "save_corpus_entry", "load_corpus_entry",
+           "corpus_files"]
+
+SCHEMA = "repro-fuzz/1"
+
+
+def _without_stmt(case: GenCase, index: int) -> Optional[GenCase]:
+    trial = case.clone()
+    removed = trial.stmts.pop(index)
+    if isinstance(removed, ReturnStmt):
+        return None
+    # retarget the return if it consumed the removed statement's temp
+    last = trial.stmts[-1] if trial.stmts else None
+    if isinstance(last, ReturnStmt) and last.value in removed.defs:
+        last.value = ""
+    if not trial.is_valid():
+        return None
+    return trial
+
+
+def shrink_case(case: GenCase, failing: Callable[[GenCase], bool],
+                max_checks: int = 200) -> GenCase:
+    """Greedy delta-debugging to a 1-minimal statement list and minimal
+    sizes; *failing* must be deterministic."""
+    checks = [0]
+
+    def still_fails(trial: GenCase) -> bool:
+        if checks[0] >= max_checks:
+            return False
+        checks[0] += 1
+        return failing(trial)
+
+    current = case.clone()
+
+    # (1) statement removal to fixed point
+    changed = True
+    while changed and checks[0] < max_checks:
+        changed = False
+        for index in range(len(current.stmts) - 1, -1, -1):
+            trial = _without_stmt(current, index)
+            if trial is not None and still_fails(trial):
+                current = trial
+                changed = True
+
+    # (2) shrink size variables toward 2
+    for name in sorted(current.sizes):
+        while current.sizes[name] > 2 and checks[0] < max_checks:
+            trial = current.clone()
+            trial.sizes[name] -= 1
+            if still_fails(trial):
+                current = trial
+            else:
+                break
+
+    # (3) prune globals
+    for name in sorted(current.globals):
+        trial = current.clone()
+        del trial.globals[name]
+        if trial.is_valid() and still_fails(trial):
+            current = trial
+
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Corpus serialization
+# ---------------------------------------------------------------------------
+
+def corpus_entry(case: GenCase, *, variant: Optional[Dict[str, object]] = None,
+                 note: str = "") -> dict:
+    arrays = {a.name: {"shape": list(a.shape(case.sizes)), "dtype": a.dtype}
+              for a in case.args if a.dims}
+    scalars = [a.name for a in case.args if not a.dims]
+    return {
+        "schema": SCHEMA,
+        "seed": case.seed,
+        "note": note or case.note,
+        "module": render_module(case),
+        "arrays": arrays,
+        "scalars": scalars,
+        "variant": dict(variant or {}),
+        "expect": "match",
+    }
+
+
+def save_corpus_entry(case: GenCase, corpus_dir: str, *,
+                      variant: Optional[Dict[str, object]] = None,
+                      note: str = "", name: Optional[str] = None) -> str:
+    entry = corpus_entry(case, variant=variant, note=note)
+    os.makedirs(corpus_dir, exist_ok=True)
+    if name is None:
+        digest = hashlib.sha256(entry["module"].encode()).hexdigest()[:10]
+        name = f"case_{case.seed}_{digest}"
+    path = os.path.join(corpus_dir, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus_entry(path: str) -> dict:
+    with open(path) as fh:
+        entry = json.load(fh)
+    if entry.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unknown corpus schema {entry.get('schema')!r}")
+    return entry
+
+
+def corpus_files(corpus_dir: str) -> List[str]:
+    if not os.path.isdir(corpus_dir):
+        return []
+    return sorted(os.path.join(corpus_dir, f)
+                  for f in os.listdir(corpus_dir) if f.endswith(".json"))

@@ -129,14 +129,17 @@ class Memlet:
             "wcr": self.wcr,
             "other_subset": str(self.other_subset) if self.other_subset is not None else None,
             "dynamic": self.dynamic,
+            "squeeze": list(self.squeeze) if self.squeeze else None,
         }
 
     @staticmethod
     def from_json(obj: dict) -> "Memlet":
+        squeeze = obj.get("squeeze")
         return Memlet(
             data=obj["data"],
             subset=obj["subset"],
             wcr=obj["wcr"],
             other_subset=obj["other_subset"],
             dynamic=obj.get("dynamic", False),
+            squeeze=tuple(squeeze) if squeeze else None,
         )

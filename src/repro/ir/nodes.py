@@ -229,7 +229,13 @@ class LibraryNode(CodeNode):
         return 0
 
     def expand(self, sdfg, state, implementation: Optional[str] = None):
-        """Replace this node in *state* with the chosen implementation."""
+        """Replace this node in *state* with the chosen implementation.
+
+        Ordering (no-connector) edges attached to the library node — e.g.
+        the write-after-read dependency edges inserted by state fusion — are
+        reattached to the replacement's scope so expansion never loosens the
+        schedule.
+        """
         impls = type(self).implementations
         if implementation is None:
             for name in type(self).default_priority.get("CPU", list(impls)):
@@ -241,7 +247,27 @@ class LibraryNode(CodeNode):
                 f"no implementation {implementation!r} registered for "
                 f"{type(self).__name__} (have: {sorted(impls)})")
         self.implementation = implementation
-        return impls[implementation](self, sdfg, state)
+        preds = [e.src for e in state.in_edges(self) if e.dst_conn is None]
+        succs = [e.dst for e in state.out_edges(self) if e.src_conn is None]
+        replacement = impls[implementation](self, sdfg, state)
+        if replacement is not None and replacement in state and (preds or succs):
+            from .memlet import Memlet
+
+            # the replacement may live inside a freshly created map scope;
+            # ordering edges must attach to the outermost scope boundary
+            scopes = state.scope_dict()
+            root = scopes.get(replacement)
+            while root is not None and scopes.get(root) is not None:
+                root = scopes.get(root)
+            in_target = root if root is not None else replacement
+            out_source = root.exit_node if root is not None else replacement
+            for pred in preds:
+                if pred in state and not state.edges_between(pred, in_target):
+                    state.add_nedge(pred, in_target, Memlet.empty())
+            for succ in succs:
+                if succ in state and not state.edges_between(out_source, succ):
+                    state.add_nedge(out_source, succ, Memlet.empty())
+        return replacement
 
     def to_json(self) -> dict:
         obj = super().to_json()
@@ -251,3 +277,25 @@ class LibraryNode(CodeNode):
             "implementation": self.implementation,
         })
         return obj
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "LibraryNode":
+        """Reconstruct an unexpanded library node from its JSON form.
+
+        Subclasses whose constructors take configuration beyond ``label``
+        (e.g. Reduce) must override this.
+        """
+        node = cls(label=obj.get("label", cls.__name__))
+        node.implementation = obj.get("implementation")
+        return node
+
+    @staticmethod
+    def concrete_subclasses() -> Dict[str, type]:
+        """All registered LibraryNode subclasses keyed by class name."""
+        out: Dict[str, type] = {}
+        stack = list(LibraryNode.__subclasses__())
+        while stack:
+            cls = stack.pop()
+            out[cls.__name__] = cls
+            stack.extend(cls.__subclasses__())
+        return out

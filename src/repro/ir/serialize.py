@@ -9,6 +9,7 @@ from .interstate import InterstateEdge
 from .memlet import Memlet
 from .nodes import (
     AccessNode,
+    LibraryNode,
     NestedSDFG,
     Node,
     ScheduleType,
@@ -36,6 +37,20 @@ def _parse_symbol_mapping(obj: Dict[str, str]) -> Dict[str, object]:
         except Exception:
             mapping[name] = text
     return mapping
+
+
+def _library_node_from_json(kind: str, node_obj: dict):
+    """Reconstruct an unexpanded library node (MatMul/Outer/Reduce/...).
+
+    The concrete classes live in :mod:`repro.library`, which imports this
+    package — resolve them lazily to avoid a circular import.
+    """
+    import repro.library  # noqa: F401  (registers the node classes)
+
+    cls = LibraryNode.concrete_subclasses().get(kind)
+    if cls is None:
+        return None
+    return cls.from_json(node_obj)
 
 
 def sdfg_from_json(obj: dict) -> SDFG:
@@ -89,9 +104,11 @@ def state_from_json(state: SDFGState, obj: dict) -> SDFGState:
                               symbol_mapping=_parse_symbol_mapping(
                                   node_obj.get("symbol_mapping", {})))
         else:
-            raise ValueError(
-                f"cannot deserialize node kind {kind!r} (library nodes must "
-                f"be expanded before serialization)")
+            node = _library_node_from_json(kind, node_obj)
+            if node is None:
+                raise ValueError(
+                    f"cannot deserialize node kind {kind!r} (not a known "
+                    f"library node class)")
         nodes[i] = node
         state.add_node(node)
     for edge_obj in obj["edges"]:

@@ -80,12 +80,27 @@ def _io_edges(state, node):
     return ins, outs
 
 
+def _scalarize_if_point(code: str, out_edge, var: str) -> str:
+    """Collapse a library tasklet's result to a scalar when the output
+    memlet is a single point.
+
+    A fast-library call can produce a size-1 *array* (e.g. a per-axis
+    reduction of a keepdims result) while the write target is one element;
+    NumPy refuses ``dst[i] = array([x])``, so the tasklet must hand the
+    backend a scalar.
+    """
+    subset = out_edge.memlet.subset
+    if subset is not None and subset.is_point() is True:
+        code += f"\n{var} = np.asarray({var}).item()"
+    return code
+
+
 @register_expansion(MatMul, "MKL")
 def _expand_matmul_mkl(node: MatMul, sdfg, state):
     """Fast-library call: a tasklet invoking the optimized BLAS (NumPy/MKL)."""
     ins, outs = _io_edges(state, node)
-    tasklet = state.add_tasklet(f"{node.label}_mkl", {"_a", "_b"}, {"_c"},
-                                "_c = np.matmul(_a, _b)")
+    code = _scalarize_if_point("_c = np.matmul(_a, _b)", outs["_c"], "_c")
+    tasklet = state.add_tasklet(f"{node.label}_mkl", {"_a", "_b"}, {"_c"}, code)
     state.add_edge(ins["_a"].src, ins["_a"].src_conn, tasklet, "_a", ins["_a"].memlet)
     state.add_edge(ins["_b"].src, ins["_b"].src_conn, tasklet, "_b", ins["_b"].memlet)
     state.add_edge(tasklet, "_c", outs["_c"].dst, outs["_c"].dst_conn, outs["_c"].memlet)
@@ -240,8 +255,8 @@ def _expand_outer_native(node: Outer, sdfg, state):
 @register_expansion(Outer, "MKL")
 def _expand_outer_mkl(node: Outer, sdfg, state):
     ins, outs = _io_edges(state, node)
-    tasklet = state.add_tasklet(f"{node.label}_mkl", {"_a", "_b"}, {"_c"},
-                                "_c = np.outer(_a, _b)")
+    code = _scalarize_if_point("_c = np.outer(_a, _b)", outs["_c"], "_c")
+    tasklet = state.add_tasklet(f"{node.label}_mkl", {"_a", "_b"}, {"_c"}, code)
     state.add_edge(ins["_a"].src, ins["_a"].src_conn, tasklet, "_a", ins["_a"].memlet)
     state.add_edge(ins["_b"].src, ins["_b"].src_conn, tasklet, "_b", ins["_b"].memlet)
     state.add_edge(tasklet, "_c", outs["_c"].dst, outs["_c"].dst_conn, outs["_c"].memlet)

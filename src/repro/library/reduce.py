@@ -61,6 +61,15 @@ class Reduce(LibraryNode):
         obj.update({"wcr": self.wcr, "axes": self.axes})
         return obj
 
+    @classmethod
+    def from_json(cls, obj: dict) -> "Reduce":
+        axes = obj.get("axes")
+        node = cls(wcr=obj.get("wcr", "sum"),
+                   axes=tuple(axes) if axes is not None else None,
+                   label=obj.get("label", "Reduce"))
+        node.implementation = obj.get("implementation")
+        return node
+
 
 @register_expansion(Reduce, "library")
 def _expand_reduce_library(node: Reduce, sdfg, state):
@@ -74,6 +83,9 @@ def _expand_reduce_library(node: Reduce, sdfg, state):
         code = f"_out = np.asarray(_in)"
         for axis in sorted(node.axes, reverse=True):
             code += f"\n_out = np.{np_name}.reduce(_out, axis={axis})"
+    from .blas import _scalarize_if_point
+
+    code = _scalarize_if_point(code, outs["_out"], "_out")
     tasklet = state.add_tasklet(f"{node.label}_lib", {"_in"}, {"_out"}, code)
     state.add_edge(ins["_in"].src, ins["_in"].src_conn, tasklet, "_in", ins["_in"].memlet)
     state.add_edge(tasklet, "_out", outs["_out"].dst, outs["_out"].dst_conn,

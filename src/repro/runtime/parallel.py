@@ -157,7 +157,9 @@ def reset_stats() -> None:
 
 def _chunk_bounds(n: int, parts: int) -> List[Tuple[int, int]]:
     """Contiguous [lo, hi) index spans covering range(n), balanced to within
-    one element."""
+    one element.  An empty range has no chunks (not a degenerate [0, 0))."""
+    if n <= 0:
+        return []
     parts = max(1, min(parts, n))
     base, extra = divmod(n, parts)
     bounds = []

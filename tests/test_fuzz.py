@@ -1,0 +1,340 @@
+"""Differential fuzzer: corpus replay, generator/mutation determinism,
+shrinker minimality, and unit regressions for the fuzz-found bug crop."""
+
+import random
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codegen.support import dim_length, make_slice, store_aligned
+from repro.frontend.astutils import UnsupportedFeature
+from repro.fuzz.gen import (
+    GenCase,
+    ReduceStmt,
+    ReturnStmt,
+    SliceStmt,
+    generate_case,
+    render_module,
+)
+from repro.fuzz.mutate import DEFAULT_VARIANT, mutate_case, variant_for
+from repro.fuzz.runner import run_gen_case, run_source_case
+from repro.fuzz.shrink import (
+    _without_stmt,
+    corpus_files,
+    load_corpus_entry,
+    shrink_case,
+)
+from repro.runtime.parallel import _chunk_bounds
+
+CORPUS = corpus_files("tests/fuzz_corpus")
+
+
+# ---------------------------------------------------------------------------
+# Corpus replay: every committed repro must stay fixed
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("path", CORPUS, ids=[p.split("/")[-1] for p in CORPUS])
+def test_corpus_replays_clean(path):
+    entry = load_corpus_entry(path)
+    result = run_source_case(
+        entry["module"], entry["arrays"], entry.get("scalars", ()),
+        entry["seed"], variant=entry.get("variant"))
+    assert result.verdict == "ok", \
+        f"{path}: {result.mismatches or result.stages}"
+
+
+def test_corpus_is_nonempty():
+    # the PR contract: at least 3 fuzz-found bugs with committed repros
+    assert len(CORPUS) >= 3
+
+
+# ---------------------------------------------------------------------------
+# Generator: determinism and validity
+# ---------------------------------------------------------------------------
+
+def test_generator_deterministic():
+    for seed in (0, 1, 17, 68, 93):
+        a = render_module(generate_case(seed))
+        b = render_module(generate_case(seed))
+        assert a == b
+
+
+def test_generated_cases_are_valid():
+    for seed in range(30):
+        case = generate_case(seed)
+        assert case.is_valid(), f"seed {seed} generated an invalid case"
+        assert isinstance(case.stmts[-1], ReturnStmt)
+
+
+def test_mutation_deterministic_and_valid():
+    for seed in range(30):
+        case = generate_case(seed)
+        a = mutate_case(case, random.Random(f"m-{seed}"))
+        b = mutate_case(case, random.Random(f"m-{seed}"))
+        assert render_module(a) == render_module(b)
+        assert a.is_valid()
+
+
+def test_mutation_rank_safety():
+    """A mutation must not change a reduce's output shape while a later
+    statement consumes the temp — the *reference* would crash (e.g.
+    slicing a scalar), yielding an invalid case instead of a finding."""
+    from repro.fuzz.gen import ArraySpec
+
+    base = GenCase(seed=0, sizes={"n0": 4})
+    base.args = [ArraySpec("u", ("n0",))]
+    reduce_stmt = ReduceStmt(dest="t0", src="u", op="mean", axis=-1,
+                             keepdims=True, src_dims=("n0",))
+    base.stmts = [
+        reduce_stmt,
+        SliceStmt(dest="t1", src="t0", mode="desc", size=1),
+        ReturnStmt(value="t1"),
+    ]
+    assert base.is_valid()
+    for trial in range(200):
+        mutated = mutate_case(base, random.Random(f"rank-{trial}"))
+        red = mutated.stmts[0]
+        assert isinstance(red, ReduceStmt)
+        assert red.out_dims() != (), \
+            f"trial {trial}: mutation made a consumed reduce scalar"
+
+
+def test_variant_schedule_deterministic():
+    rng_a, rng_b = random.Random("v"), random.Random("v")
+    for index in range(20):
+        assert variant_for(index, rng_a) == variant_for(index, rng_b)
+    assert set(DEFAULT_VARIANT) == {"threads", "sanitize", "govern", "cache"}
+
+
+# ---------------------------------------------------------------------------
+# Shrinker: 1-minimality under a synthetic predicate
+# ---------------------------------------------------------------------------
+
+def test_shrinker_minimal_under_synthetic_predicate():
+    case = generate_case(3)
+
+    def failing(trial):
+        return any(isinstance(s, ReduceStmt) for s in trial.stmts)
+
+    shrunk = shrink_case(case, failing)
+    assert failing(shrunk)
+    assert shrunk.is_valid()
+    # 1-minimal: no single statement can be removed while still failing
+    for index in range(len(shrunk.stmts)):
+        trial = _without_stmt(shrunk, index)
+        assert trial is None or not failing(trial)
+    # sizes shrunk to the floor
+    assert all(v == 2 for v in shrunk.sizes.values())
+
+
+# ---------------------------------------------------------------------------
+# Oracle agreement: a small always-on differential smoke slice
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_oracle_agreement_smoke(seed):
+    result = run_gen_case(generate_case(seed))
+    assert result.verdict == "ok", result.mismatches or result.stages
+
+
+# ---------------------------------------------------------------------------
+# Bug crop regressions (unit level)
+# ---------------------------------------------------------------------------
+
+class TestNegativeAxis:
+    """Bug: method-form positional axis was ignored and out-of-range axes
+    silently wrapped via ``%``; negative axes must normalize correctly."""
+
+    def test_1d(self):
+        @repro.program
+        def prog(u: repro.float64[5]):
+            return np.sum(u, axis=-1)
+
+        u = np.arange(5.0)
+        assert np.allclose(prog(u=u), u.sum())
+
+    def test_2d_all_axes(self):
+        A = np.arange(12.0).reshape(3, 4)
+        for axis in (-2, -1, 0, 1):
+            @repro.program
+            def prog(A: repro.float64[3, 4]):
+                return np.max(A, axis=axis)
+
+            assert np.allclose(prog(A=A.copy()), A.max(axis=axis)), axis
+
+    def test_3d(self):
+        T = np.arange(24.0).reshape(2, 3, 4)
+        for axis in (-3, -2, -1):
+            @repro.program
+            def prog(T: repro.float64[2, 3, 4]):
+                return np.sum(T, axis=axis)
+
+            assert np.allclose(prog(T=T.copy()), T.sum(axis=axis)), axis
+
+    def test_method_form_positional_axis(self):
+        A = np.arange(6.0).reshape(2, 3)
+
+        @repro.program
+        def prog(A: repro.float64[2, 3]):
+            return A.sum(0)
+
+        assert np.allclose(prog(A=A.copy()), A.sum(0))
+
+    def test_out_of_range_axis_rejected(self):
+        with pytest.raises((UnsupportedFeature, Exception)) as exc:
+            @repro.program
+            def prog(A: repro.float64[2, 3]):
+                return np.sum(A, axis=2)
+
+            prog(A=np.zeros((2, 3)))
+        assert "axis" in str(exc.value)
+
+    def test_keepdims(self):
+        A = np.arange(6.0).reshape(2, 3)
+
+        @repro.program
+        def prog(A: repro.float64[2, 3]):
+            return np.min(A, axis=0, keepdims=True)
+
+        out = prog(A=A.copy())
+        assert np.asarray(out).shape == (1, 3)
+        assert np.allclose(out, A.min(axis=0, keepdims=True))
+
+    def test_keepdims_chain_reduce(self):
+        # shrunk shape of fuzz case 68: reduce of a keepdims result whose
+        # output memlet is a single point
+        A = np.arange(6.0).reshape(2, 3)
+
+        @repro.program
+        def prog(A: repro.float64[2, 3], out: repro.float64[1]):
+            t = np.sum(A, axis=0, keepdims=True)
+            out[:] = np.max(t, axis=-1)
+
+        out = np.zeros(1)
+        prog(A=A.copy(), out=out)
+        assert np.allclose(out, A.sum(axis=0, keepdims=True).max(axis=-1))
+
+
+class TestStoreAligned:
+    """Bug: dead transpose branch plus a silent reshape that masked axis
+    mis-permutations as garbage stores."""
+
+    def test_permuted_store(self):
+        dst = np.zeros((3, 4))
+        value = np.arange(12.0).reshape(4, 3)  # canonical (axis1, axis0)
+        store_aligned(dst, (slice(None), slice(None)), value, [1, 0], (4, 3))
+        assert np.allclose(dst, value.T)
+
+    def test_incompatible_shape_raises(self):
+        dst = np.zeros((3, 4))
+        with pytest.raises(ValueError, match="store_aligned"):
+            store_aligned(dst, (slice(None), slice(None)),
+                          np.zeros((2, 5)), [0, 1], (2, 5))
+
+    def test_size1_reshape_still_allowed(self):
+        dst = np.zeros((1, 1))
+        store_aligned(dst, (slice(None), slice(None)),
+                      np.array([7.0]).reshape(1, 1), [0, 1], (1, 1))
+        assert dst[0, 0] == 7.0
+
+
+class TestMemletSqueezeRoundTrip:
+    """Bug: ``Memlet.squeeze`` was dropped by JSON serialization, so a
+    warm-cache-rehydrated module fed *unsqueezed* views to library nodes
+    (cholesky's dot products saw (1, k) rows instead of (k,) vectors)."""
+
+    def test_squeeze_survives_roundtrip(self):
+        from repro.ir.memlet import Memlet
+
+        m = Memlet("A", "i, 0:j", squeeze=(0,))
+        rt = Memlet.from_json(m.to_json())
+        assert rt.squeeze == (0,)
+        assert str(rt.subset) == str(m.subset)
+
+    def test_sdfg_roundtrip_preserves_squeeze(self):
+        from repro.ir import serialize
+
+        @repro.program
+        def prog(A: repro.float64[3, 3], out: repro.float64[3]):
+            for i in range(3):
+                out[i] = A[i, :] @ A[i, :]
+
+        sdfg = prog.to_sdfg()
+        rt = serialize.sdfg_from_json(sdfg.to_json())
+        originals = sorted(
+            (e.memlet.data, e.memlet.squeeze)
+            for state in sdfg.states() for e in state.edges()
+            if e.memlet.subset is not None and e.memlet.squeeze)
+        restored = sorted(
+            (e.memlet.data, e.memlet.squeeze)
+            for state in rt.states() for e in state.edges()
+            if e.memlet.subset is not None and e.memlet.squeeze)
+        assert originals and originals == restored
+
+
+class TestZeroTrip:
+    """Bug: zero-trip map ranges produced negative extents and bogus
+    thread chunks."""
+
+    def test_dim_length_clamps(self):
+        assert dim_length(0, -1, 1) == 0
+        assert dim_length(0, -2, 1) == 0
+        assert dim_length(0, 4, 1) == 5
+        assert dim_length(4, 0, -1) == 5
+
+    def test_chunk_bounds_empty(self):
+        assert _chunk_bounds(0, 4) == []
+        assert _chunk_bounds(-3, 4) == []
+        assert _chunk_bounds(5, 2) == [(0, 3), (3, 5)]
+
+    def test_triangular_map_program(self):
+        @repro.program
+        def prog(A: repro.float64[4, 4]):
+            for it in range(4):
+                for p in repro.map[0:it]:
+                    A[it, p] = A[it, p] * 2.0 + 1.0
+
+        A = np.ones((4, 4))
+        ref = np.ones((4, 4))
+        for it in range(4):
+            for p in range(it):
+                ref[it, p] = ref[it, p] * 2.0 + 1.0
+        prog(A=A)
+        assert np.allclose(A, ref)
+
+
+class TestSliceEmission:
+    """Bug: descending and zero-trip slices mis-converted to exclusive
+    NumPy slices (``end + 1`` crossing zero selects nearly everything)."""
+
+    def test_make_slice_descending_to_zero(self):
+        x = np.arange(5)
+        assert list(x[make_slice(1, 0, 4, 0, -1)]) == [4, 3, 2, 1, 0]
+
+    def test_make_slice_empty_ascending(self):
+        x = np.arange(5)
+        assert list(x[make_slice(1, 0, 0, -1, 1)]) == []
+
+    def test_make_slice_empty_descending(self):
+        x = np.arange(5)
+        assert list(x[make_slice(1, 0, 1, 2, -1)]) == []
+
+    def test_descending_slice_program(self):
+        @repro.program
+        def prog(u: repro.float64[5]):
+            t = u[4:0:-1]
+            return np.sum(t * t)
+
+        u = np.arange(5.0)
+        assert np.allclose(prog(u=u.copy()), np.sum(u[4:0:-1] ** 2))
+
+    def test_full_reverse_program(self):
+        @repro.program
+        def prog(u: repro.float64[5], out: repro.float64[5]):
+            out[:] = u[::-1]
+
+        u = np.arange(5.0)
+        out = np.zeros(5)
+        prog(u=u.copy(), out=out)
+        assert np.allclose(out, u[::-1])
